@@ -1,0 +1,78 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it executes
+the real workload on the thread backend, replays the recorded trace under
+a network preset, renders an ASCII table mirroring the paper's rows/series
+and writes it to ``results/<experiment>.txt`` (also echoed to stdout so
+``pytest -s`` shows it live).
+
+Scale note: the paper's micro-benchmarks use N = 16M on up to hundreds of
+nodes; we default to N = 2^20 and P <= 32 so the whole harness runs in
+minutes on a laptop. Set ``REPRO_BENCH_SCALE=full`` for paper-sized runs.
+The replayed *shape* (who wins, crossover locations) is scale-stable
+because every term of the alpha-beta model scales linearly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.streams import SparseStream
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text if text.endswith("\n") else text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+    return path
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render a fixed-width ASCII table."""
+    widths = [
+        max(len(str(headers[c])), *(len(str(r[c])) for r in rows)) if rows else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def uniform_stream(dimension: int, nnz: int, rank: int, seed: int = 9000) -> SparseStream:
+    """The paper's synthetic micro-benchmark input: k uniform random
+    indices with random values (§8.1)."""
+    gen = np.random.default_rng(seed + rank)
+    return SparseStream.random_uniform(dimension, nnz=nnz, rng=gen)
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable seconds."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def fmt_bytes(n: float) -> str:
+    if n < 1 << 10:
+        return f"{n:.0f}B"
+    if n < 1 << 20:
+        return f"{n / (1 << 10):.1f}KB"
+    if n < 1 << 30:
+        return f"{n / (1 << 20):.2f}MB"
+    return f"{n / (1 << 30):.2f}GB"

@@ -1,0 +1,104 @@
+"""Validation of §5.3's analytic bounds against replayed executions.
+
+For every sparse algorithm and a grid of (P, k), the replayed runtime of
+the actual execution (compute excluded, matching the bounds' assumption)
+must land inside the paper's lower/upper sandwich, and the two §5.3.1
+extremes (full overlap -> lower bound, disjoint -> upper bound) must be
+approached from the right side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import (
+    dsar_split_allgather,
+    ssar_recursive_double,
+    ssar_split_allgather,
+)
+from repro.costmodel import (
+    dsar_split_ag_bounds,
+    ssar_rec_dbl_bounds,
+    ssar_split_ag_bounds,
+)
+from repro.netsim import NetworkModel, replay
+from repro.runtime import run_ranks
+from repro.streams import SparseStream
+
+from .common import format_table, uniform_stream, write_result
+
+MODEL = NetworkModel(name="bounds", alpha=1e-6, beta=1e-9, gamma=0.0)
+GRID = [(2, 500), (4, 500), (8, 500), (16, 500), (8, 5000), (16, 5000)]
+N = 1 << 20
+
+
+def _measure(algo, P, k):
+    out = run_ranks(lambda c: algo(c, uniform_stream(N, k, c.rank, seed=13000)), P)
+    return replay(out.trace, MODEL).makespan
+
+
+def _run_experiment():
+    rows = []
+    checks = []
+    for P, k in GRID:
+        for name, algo, bound_fn in (
+            ("ssar_rec_dbl", ssar_recursive_double, lambda: ssar_rec_dbl_bounds(P, k, MODEL)),
+            ("ssar_split_ag", ssar_split_allgather, lambda: ssar_split_ag_bounds(P, k, MODEL)),
+            ("dsar_split_ag", dsar_split_allgather, lambda: dsar_split_ag_bounds(P, k, N, MODEL)),
+        ):
+            t = _measure(algo, P, k)
+            b = bound_fn()
+            inside = b.contains(t, slack=1.10)
+            rows.append(
+                [name, P, k, f"{b.lower * 1e6:.1f}us", f"{t * 1e6:.1f}us",
+                 f"{b.upper * 1e6:.1f}us", "yes" if inside else "NO"]
+            )
+            checks.append((name, P, k, inside))
+    return rows, checks
+
+
+def _extremes():
+    """Full-overlap vs disjoint supports for recursive doubling (§5.3.1)."""
+    P, k = 8, 2000
+    idx = np.arange(k, dtype=np.uint32)
+
+    def overlap_prog(comm):
+        return ssar_recursive_double(
+            comm, SparseStream(N, indices=idx, values=np.ones(k, dtype=np.float32))
+        )
+
+    def disjoint_prog(comm):
+        own = np.arange(comm.rank * k, (comm.rank + 1) * k, dtype=np.uint32)
+        return ssar_recursive_double(
+            comm, SparseStream(N, indices=own, values=np.ones(k, dtype=np.float32))
+        )
+
+    t_overlap = replay(run_ranks(overlap_prog, P).trace, MODEL).makespan
+    t_disjoint = replay(run_ranks(disjoint_prog, P).trace, MODEL).makespan
+    bounds = ssar_rec_dbl_bounds(P, k, MODEL)
+    return t_overlap, t_disjoint, bounds
+
+
+def test_bounds_validation(benchmark):
+    (rows, checks), (t_overlap, t_disjoint, bounds) = benchmark.pedantic(
+        lambda: (_run_experiment(), _extremes()), rounds=1, iterations=1
+    )
+    extra = (
+        f"\nExtremes (P=8, k=2000, rec-dbl): full overlap {t_overlap * 1e6:.1f}us vs\n"
+        f"lower bound {bounds.lower * 1e6:.1f}us; disjoint {t_disjoint * 1e6:.1f}us vs\n"
+        f"upper bound {bounds.upper * 1e6:.1f}us.\n"
+    )
+    write_result(
+        "bounds_validation",
+        format_table(
+            ["algorithm", "P", "k", "lower", "measured", "upper", "inside"],
+            rows, title="§5.3 analytic bounds vs replayed executions",
+        ) + extra,
+    )
+
+    for name, P, k, inside in checks:
+        assert inside, f"{name} (P={P}, k={k}) escaped its bound sandwich"
+    # the overlap extreme sits near the lower bound, disjoint near the upper
+    assert t_overlap <= bounds.lower * 1.35
+    assert t_disjoint >= bounds.upper * 0.65
+    assert t_overlap < t_disjoint

@@ -1,0 +1,122 @@
+"""Figure 5: wide residual networks on ImageNet — TopK quantized vs dense.
+
+Paper setup: 4xResNet18/34 on ImageNet-1K, 64 GPUs, TopK with K=1/512
+(0.2% density), standard hyper-parameters. Findings: (i) final top-1
+within 0.9% / top-5 within 0.5% of dense; (ii) ~2x end-to-end speedup,
+almost entirely from the huge final layers; (iii) TopK's loss falls
+*faster* early and the advantage saturates late.
+
+Our stand-in: a 4x-widened MLP on ImageNet-like data (the 4x widening is
+exactly the paper's transformation; wide layers are what make gradients
+compressible). End-to-end speedup is computed with the overlap-free step
+model: t_step = t_compute + t_comm(replayed), with the per-sample compute
+budget chosen so the *dense* run is ~50% communication — the regime the
+paper reports for wide models on 64 GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.core import TopKSGDConfig, dense_sgd, quantized_topk_sgd
+from repro.mlopt import make_imagenet_like
+from repro.netsim import ARIES, replay
+from repro.nn import make_eval_fn, make_grad_fn, make_mlp
+from repro.runtime import run_ranks
+
+from .common import FULL_SCALE, format_table, write_result
+
+P = 8
+STEPS = 200 if FULL_SCALE else 140
+EVAL_EVERY = 35
+LR = 0.04
+WIDTH = 4  # the "4x" of 4xResNet
+BATCH = 16
+COMPUTE_BYTES_PER_SAMPLE = 500_000
+# GPU-class compute: the paper's nodes compute on P100s while the network
+# is the same Aries — model that with a 10x faster gamma, which puts the
+# dense wide-model run at ~50% communication (the Fig. 5 regime).
+GPU_ARIES = ARIES.with_(gamma=2e-11)
+
+
+def _build(comm, width):
+    ds = make_imagenet_like(n_samples=1024, n_classes=50, dim=1024, seed=19)
+    net = make_mlp(1024, 50, hidden=(96,), width_multiplier=width, seed=37)
+    grad_fn = make_grad_fn(
+        net, ds, comm, batch_size=BATCH, seed=7,
+        compute_bytes_per_sample=COMPUTE_BYTES_PER_SAMPLE,
+    )
+    eval_fn = make_eval_fn(net, ds, max_samples=512)
+    return net, grad_fn, eval_fn
+
+
+def _run_experiment():
+    def topk_prog(comm):
+        net, grad_fn, eval_fn = _build(comm, WIDTH)
+        cfg = TopKSGDConfig(k=1, bucket_size=512, lr=LR, quantizer_bits=4)
+        return quantized_topk_sgd(
+            comm, grad_fn, net.n_params, STEPS, cfg, eval_fn,
+            eval_every=EVAL_EVERY, init_params=net.param_vector(),
+        )
+
+    def dense_prog(comm):
+        net, grad_fn, eval_fn = _build(comm, WIDTH)
+        # the paper's baseline applies the *sum* of rank gradients
+        # (x <- x - eta * sum_i grad_i), matching Algorithm 1's step
+        return dense_sgd(
+            comm, grad_fn, net.n_params, STEPS, lr=LR,
+            eval_fn=eval_fn, eval_every=EVAL_EVERY, init_params=net.param_vector(),
+        )
+
+    topk_out = run_ranks(topk_prog, P)
+    dense_out = run_ranks(dense_prog, P)
+    results = {}
+    for name, out in (("dense", dense_out), (f"topk 1/512+4bit", topk_out)):
+        total = replay(out.trace, GPU_ARIES).makespan
+        comm_only = replay(out.trace, GPU_ARIES.with_(gamma=0.0)).makespan
+        results[name] = {
+            "res": out[0],
+            "step_time": total / STEPS,
+            "comm_time": comm_only / STEPS,
+        }
+    return results
+
+
+def _render(results) -> str:
+    steps = [h["step"] for h in results["dense"]["res"].history]
+    headers = ["variant"] + [f"err@{s}" for s in steps] + ["KB/step", "t/step", "comm/step"]
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [name]
+            + [f"{1 - h['accuracy']:.3f}" for h in r["res"].history]
+            + [
+                f"{r['res'].mean_bytes_per_step / 1e3:.0f}",
+                f"{r['step_time'] * 1e3:.2f}ms",
+                f"{r['comm_time'] * 1e3:.2f}ms",
+            ]
+        )
+    speedup = results["dense"]["step_time"] / results["topk 1/512+4bit"]["step_time"]
+    note = (
+        f"\n4x-wide MLP ({results['dense']['res'].params.size} params) on ImageNet-like"
+        f" data, P={P}.\nEnd-to-end step speedup: {speedup:.2f}x "
+        "(paper: ~2x for 4xResNet18, ~1.85x for 4xResNet34).\n"
+    )
+    return format_table(headers, rows, title="Fig. 5: wide network, error vs step") + note
+
+
+def test_fig5_wide_network(benchmark):
+    results = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_result("fig5_wide_resnet", _render(results))
+
+    dense = results["dense"]
+    topk = results["topk 1/512+4bit"]
+    # accuracy parity (paper: <0.9% top-1 difference)
+    assert (
+        topk["res"].history[-1]["accuracy"]
+        >= dense["res"].history[-1]["accuracy"] - 0.03
+    )
+    # ~2x end-to-end speedup in the comm-bound wide regime
+    speedup = dense["step_time"] / topk["step_time"]
+    assert 1.5 < speedup < 3.5, f"speedup {speedup}"
+    # the speedup comes from communication (paper: "due almost entirely to
+    # the reduced aggregation time")
+    assert dense["comm_time"] / topk["comm_time"] > 5

@@ -1,0 +1,141 @@
+"""Figure 6: ASR production workload — loss vs time and scalability.
+
+Paper setup: 60M-parameter attention LSTM, 30k hours of speech, 128 V100
+GPUs. Baseline: carefully tuned block-momentum SGD (BMUF) on 16 GPUs
+(higher counts diverged) taking ~14 days. SparCML TopK (4/512) trains to
+the same CE loss in <1.8 days on 128 GPUs; Fig. 6b shows near-linear
+scalability of the sparse exchange.
+
+Simulation-scale reproduction (documented in DESIGN.md): an LSTM-shaped
+parameter vector (scaled from 60M to 2M), one TopK gradient exchange per
+step measured by trace replay on an IB-like network, and a fitted
+loss-vs-epoch curve from an actual LSTM training run, so "loss vs wall
+time" combines measured comm times with measured convergence behaviour.
+The BMUF baseline is modelled as dense allreduce at P=16 with updates
+exchanged 4x less often (its defining communication reduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import dense_allreduce, ssar_split_allgather
+from repro.core import ErrorFeedback
+from repro.netsim import IB_FDR, replay
+from repro.runtime import run_ranks
+
+from .common import FULL_SCALE, fmt_time, format_table, write_result
+
+MODEL_PARAMS = 1 << 22 if FULL_SCALE else 1 << 21
+K, BUCKET = 4, 512
+GPU_COUNTS = (16, 32, 64, 128)  # ranks stand in for GPUs
+RANK_CAP = 32  # thread backend cap; larger counts replayed at cap pattern
+COMPUTE_PER_STEP_S = 0.040
+BMUF_EXCHANGE_PERIOD = 4  # BMUF communicates every 4 steps
+TARGET_LOSS = 0.35
+STEPS_TO_TARGET = 400  # from the convergence harness (same for both: the
+# paper reports TopK reaches the same CE loss per epoch)
+
+
+HOT_PER_BUCKET = 16  # "attention layer" coordinates: ~3% of the model
+
+
+def _asr_gradient(rank: int) -> np.ndarray:
+    """ASR-like gradient: most update mass concentrates in a hot subset.
+
+    The paper leverages exactly this ("most updates will occur in the
+    parameters of the attention layer", §8.4): all ranks' TopK selections
+    overlap heavily, so the reduced size K stays small and P-stable.
+    """
+    gen = np.random.default_rng(60 + rank)
+    grad = gen.standard_normal(MODEL_PARAMS).astype(np.float32) * 0.05
+    hot = (np.arange(MODEL_PARAMS) % BUCKET) < HOT_PER_BUCKET
+    grad[hot] += gen.standard_normal(int(hot.sum())).astype(np.float32)
+    return grad
+
+
+def _sparse_step_time(P: int) -> float:
+    ranks = min(P, RANK_CAP)
+
+    def prog(comm):
+        ef = ErrorFeedback(MODEL_PARAMS, K, BUCKET)
+        stream = ef.select(_asr_gradient(comm.rank))
+        return ssar_split_allgather(comm, stream).nnz
+
+    out = run_ranks(prog, ranks)
+    t = replay(out.trace, IB_FDR).makespan
+    if P > ranks:
+        # K saturates at the hot-set size, so the bandwidth term is flat in
+        # P; only the split latency keeps growing ((P-1) alpha, §5.3.2)
+        t = t + (P - ranks) * IB_FDR.alpha
+    return t
+
+
+def _dense_step_time(P: int) -> float:
+    ranks = min(P, RANK_CAP)
+
+    def prog(comm):
+        gen = np.random.default_rng(60 + comm.rank)
+        return dense_allreduce(
+            comm, gen.standard_normal(MODEL_PARAMS).astype(np.float32), "dense_ring"
+        ).shape[0]
+
+    out = run_ranks(prog, ranks)
+    t = replay(out.trace, IB_FDR).makespan
+    # ring bandwidth term is ~P-independent; latency term negligible here
+    return t
+
+
+def _run_experiment():
+    sparse_steps = {P: COMPUTE_PER_STEP_S + _sparse_step_time(P) for P in GPU_COUNTS}
+    bmuf_16 = COMPUTE_PER_STEP_S + _dense_step_time(16) / BMUF_EXCHANGE_PERIOD
+
+    # strong scaling: global batch fixed, so P ranks process a step in
+    # compute/P ... the paper keeps batch fixed at 512 and scales workers.
+    results = {}
+    for P in GPU_COUNTS:
+        step = COMPUTE_PER_STEP_S * (16 / P) + (sparse_steps[P] - COMPUTE_PER_STEP_S)
+        results[P] = {
+            "step_time": step,
+            "time_to_target": step * STEPS_TO_TARGET,
+        }
+    baseline_time = bmuf_16 * STEPS_TO_TARGET
+    return results, baseline_time
+
+
+def _render(results, baseline_time) -> str:
+    rows = [["BMUF dense (16)", fmt_time(baseline_time / STEPS_TO_TARGET),
+             fmt_time(baseline_time), "1.00x", "-"]]
+    for P, r in results.items():
+        rows.append(
+            [f"sparcml topk ({P})", fmt_time(r["step_time"]),
+             fmt_time(r["time_to_target"]),
+             f"{baseline_time / r['time_to_target']:.2f}x",
+             f"{results[16]['time_to_target'] / r['time_to_target']:.2f}x"]
+        )
+    note = (
+        f"\n{MODEL_PARAMS / 1e6:.0f}M-param LSTM stand-in, TopK {K}/{BUCKET}, IB-like"
+        " network,\nstrong scaling at fixed global batch (the paper's §8.4 protocol).\n"
+        "Paper: 14 days (16-GPU BMUF) -> <1.8 days (128 GPUs) ~ 8x; scaling\n"
+        "from 16->128 GPUs is near-linear (Fig. 6b).\n"
+    )
+    return format_table(
+        ["configuration", "t/step", "time to CE target", "vs BMUF", "vs sparcml-16"],
+        rows, title="Fig. 6: ASR time-to-accuracy and scalability",
+    ) + note
+
+
+def test_fig6_asr_scaling(benchmark):
+    results, baseline_time = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_result("fig6_asr", _render(results, baseline_time))
+
+    # Fig. 6a: sparse at high GPU counts reaches the target much faster
+    # than the BMUF baseline (paper: ~8x at 128)
+    speedup_128 = baseline_time / results[128]["time_to_target"]
+    assert speedup_128 > 4, f"128-GPU speedup {speedup_128}"
+    # Fig. 6b: monotone scalability 16 -> 128
+    times = [results[P]["time_to_target"] for P in GPU_COUNTS]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # scaling efficiency from 16 to 128 stays above 50%
+    eff = (results[16]["time_to_target"] / results[128]["time_to_target"]) / (128 / 16)
+    assert eff > 0.5, f"scaling efficiency {eff}"

@@ -1,0 +1,112 @@
+"""§8.2 Spark comparison: MPI-OPT vs a coordinator-based dense layer.
+
+Paper numbers (URL, P=8): MPI-OPT + SparCML converges 63x faster than
+Spark (185x communication); even MPI-OPT with the *dense* Cray allreduce
+beats Spark 31x (43x communication). The defining property of the Spark
+baseline is coordinator-centred dense aggregation (treeAggregate + model
+broadcast) with no sparsity support; our `frameworks.spark_like`
+reproduces that communication pattern (and, per the paper's own caveat,
+none of Spark's fault-tolerance overheads — so our gaps are smaller but
+ordered identically).
+
+Expected ordering: t(spark-like) > t(dense MPI) > t(SparCML sparse), with
+the communication gaps larger than the end-to-end gaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frameworks import coordinator_allreduce
+from repro.mlopt import LogisticRegression, SGDConfig, distributed_sgd, make_url_like
+from repro.mlopt.datasets import partition_rows
+from repro.netsim import GIGE, replay
+from repro.runtime import run_ranks
+
+from .common import fmt_time, format_table, write_result
+
+P = 8
+EPOCHS = 1
+BATCH = 50
+
+
+def _spark_like_prog(dataset):
+    def prog(comm):
+        model = LogisticRegression(dataset.n_features, reg=1e-5)
+        shard = partition_rows(dataset.n_samples, comm.size, comm.rank)
+        X, y = dataset.X[shard], dataset.y[shard]
+        gen = np.random.default_rng(comm.rank)
+        w = np.zeros(dataset.n_features)
+        for _ in range(EPOCHS * max(1, X.shape[0] // BATCH)):
+            rows = gen.choice(X.shape[0], size=min(BATCH, X.shape[0]), replace=False)
+            comm.mark("compute")
+            comm.compute(int(X[rows].nnz) * 16, "grad")
+            grad = model.grad_stream(w, X[rows], y[rows]).to_dense()
+            total = coordinator_allreduce(comm, grad)
+            comm.mark("compute")
+            model.apply_regularization(w, 1.0)
+            w -= (1.0 / comm.size) * total.astype(np.float64)
+        return model.loss(w, dataset.X, dataset.y)
+
+    return prog
+
+
+def _run_experiment():
+    ds = make_url_like(scale=0.008, n_samples=800)
+
+    def mpiopt_prog(mode, algo):
+        def prog(comm):
+            cfg = SGDConfig(epochs=EPOCHS, batch_size=BATCH, lr=1.0, mode=mode, algorithm=algo)
+            return distributed_sgd(comm, ds, LogisticRegression(ds.n_features, 1e-5), cfg)
+
+        return prog
+
+    runs = {
+        "spark-like": run_ranks(_spark_like_prog(ds), P),
+        "mpiopt dense": run_ranks(mpiopt_prog("dense", "dense_rabenseifner"), P),
+        "mpiopt sparcml": run_ranks(mpiopt_prog("sparse", "auto"), P),
+    }
+    outcomes = {}
+    for name, out in runs.items():
+        outcomes[name] = {
+            "total": replay(out.trace, GIGE).makespan,
+            "comm": replay(out.trace, GIGE.with_(gamma=0.0)).makespan,
+            "bytes": out.trace.total_bytes_sent,
+        }
+    return ds, outcomes
+
+
+def _render(ds, o) -> str:
+    base = o["spark-like"]
+    rows = []
+    for name in ("spark-like", "mpiopt dense", "mpiopt sparcml"):
+        rows.append(
+            [name, fmt_time(o[name]["total"]), fmt_time(o[name]["comm"]),
+             f"{o[name]['bytes'] / 1e6:.1f}MB",
+             f"{base['total'] / o[name]['total']:.1f}x "
+             f"({base['comm'] / o[name]['comm']:.1f}x)"]
+        )
+    note = (
+        f"\nURL-like ({ds.n_samples} x {ds.n_features}), P={P}, GigE preset.\n"
+        "Paper (URL, P=8): SparCML 63x (185x comm) over Spark; dense MPI\n"
+        "31x (43x comm). Our spark-like baseline has no fault-tolerance\n"
+        "cost, so the ordering matches with smaller absolute gaps.\n"
+    )
+    return format_table(
+        ["layer", "epoch time", "comm time", "bytes", "speedup vs spark (comm)"],
+        rows, title="Spark-like comparison (paper §8.2)",
+    ) + note
+
+
+def test_spark_comparison(benchmark):
+    ds, o = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_result("spark_comparison", _render(ds, o))
+
+    # the paper's ordering
+    assert o["spark-like"]["total"] > o["mpiopt dense"]["total"] > o["mpiopt sparcml"]["total"]
+    assert o["spark-like"]["comm"] > o["mpiopt dense"]["comm"] > o["mpiopt sparcml"]["comm"]
+    # sparcml's win over spark-like must exceed dense MPI's win over it
+    assert (
+        o["spark-like"]["total"] / o["mpiopt sparcml"]["total"]
+        > o["spark-like"]["total"] / o["mpiopt dense"]["total"]
+    )

@@ -1,0 +1,161 @@
+"""Table 2: distributed optimisation with MPI-OPT.
+
+Paper rows: {Webspam, URL} x {LR, SVM} x {Piz Daint P=32 rec-dbl,
+Piz Daint P=8 split-ag, Greina IB P=8, Greina GigE P=8}; columns: epoch
+time for the dense-MPI baseline vs the sparse algorithm, end-to-end and
+communication-only speedups (in brackets in the paper).
+
+We run the same workloads on synthetic URL-like/Webspam-like data, time
+by trace replay under the corresponding network presets, and report the
+same row structure. Expected shape: modest (2-4x) end-to-end speedups on
+fast networks, very large (>10x) on GigE — communication dominates there.
+"""
+
+from __future__ import annotations
+
+from repro.mlopt import (
+    LinearSVM,
+    LogisticRegression,
+    SGDConfig,
+    distributed_sgd,
+    make_url_like,
+    make_webspam_like,
+)
+from repro.netsim import ARIES, GIGE, IB_FDR, replay
+from repro.runtime import run_ranks
+
+from .common import FULL_SCALE, fmt_time, format_table, write_result
+
+EPOCHS = 1
+BATCH = 25
+
+ROWS = [
+    # (system, network, dataset_name, model_name, P, sparse algorithm)
+    ("Piz Daint", ARIES, "webspam", "LR", 16, "ssar_rec_dbl"),
+    ("Piz Daint", ARIES, "webspam", "SVM", 16, "ssar_rec_dbl"),
+    ("Piz Daint", ARIES, "url", "LR", 16, "ssar_rec_dbl"),
+    ("Piz Daint", ARIES, "url", "SVM", 16, "ssar_rec_dbl"),
+    ("Piz Daint", ARIES, "webspam", "LR", 8, "ssar_split_ag"),
+    ("Piz Daint", ARIES, "url", "LR", 8, "ssar_split_ag"),
+    ("Greina (IB)", IB_FDR, "webspam", "LR", 8, "ssar_split_ag"),
+    ("Greina (IB)", IB_FDR, "url", "LR", 8, "ssar_split_ag"),
+    ("Greina (GigE)", GIGE, "webspam", "LR", 8, "ssar_split_ag"),
+    ("Greina (GigE)", GIGE, "url", "LR", 8, "ssar_split_ag"),
+]
+
+
+def _datasets():
+    """URL/Webspam stand-ins with the *batch-gradient density* of the real
+    datasets preserved: dimension and nnz/sample are scaled together so a
+    50-sample minibatch gradient stays ~1% dense, as on the originals.
+    """
+    from repro.mlopt import make_sparse_classification
+
+    if FULL_SCALE:
+        url_dim, url_nnz, web_dim, web_nnz, n = 640_000, 115, 800_000, 370, 3200
+    else:
+        url_dim, url_nnz, web_dim, web_nnz, n = 160_000, 60, 170_000, 150, 1600
+    return {
+        "url": make_sparse_classification(
+            n, url_dim, url_nnz, seed=1, powerlaw_exponent=1.15, name="url-like"
+        ),
+        "webspam": make_sparse_classification(
+            n, web_dim, web_nnz, seed=2, powerlaw_exponent=1.05, name="webspam-like"
+        ),
+    }
+
+
+def _model(name, n_features):
+    cls = LogisticRegression if name == "LR" else LinearSVM
+    return cls(n_features, reg=1e-5)
+
+
+def _epoch_times(dataset, model_name, P, mode, algorithm, network):
+    def prog(comm):
+        cfg = SGDConfig(
+            epochs=EPOCHS, batch_size=BATCH, lr=1.0, mode=mode, algorithm=algorithm
+        )
+        return distributed_sgd(comm, dataset, _model(model_name, dataset.n_features), cfg)
+
+    out = run_ranks(prog, P)
+    total = replay(out.trace, network).makespan / EPOCHS
+    comm = replay(out.trace, network.with_(gamma=0.0)).makespan / EPOCHS
+    return total, comm, out[0]
+
+
+def _run_experiment():
+    datasets = _datasets()
+    results = []
+    for system, network, ds_name, model_name, P, algo in ROWS:
+        ds = datasets[ds_name]
+        dense_total, dense_comm, dense_hist = _epoch_times(
+            ds, model_name, P, "dense", "dense_rabenseifner", network
+        )
+        sparse_total, sparse_comm, sparse_hist = _epoch_times(
+            ds, model_name, P, "sparse", algo, network
+        )
+        results.append(
+            {
+                "system": system,
+                "dataset": ds_name,
+                "model": model_name,
+                "P": P,
+                "algo": algo,
+                "dense_total": dense_total,
+                "dense_comm": dense_comm,
+                "sparse_total": sparse_total,
+                "sparse_comm": sparse_comm,
+                "same_model": bool(
+                    abs(dense_hist.final_loss - sparse_hist.final_loss) < 1e-6
+                ),
+            }
+        )
+    return results
+
+
+def _render(results) -> str:
+    headers = [
+        "system", "dataset", "model", "P", "algorithm",
+        "baseline t (comm)", "sparcml t (comm)", "speedup (comm)",
+    ]
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r["system"], r["dataset"], r["model"], r["P"], r["algo"],
+                f"{fmt_time(r['dense_total'])} ({fmt_time(r['dense_comm'])})",
+                f"{fmt_time(r['sparse_total'])} ({fmt_time(r['sparse_comm'])})",
+                f"{r['dense_total'] / r['sparse_total']:.2f} "
+                f"({r['dense_comm'] / r['sparse_comm']:.2f})",
+            ]
+        )
+    note = (
+        "\nTimes are per dataset epoch (communication in brackets), replayed\n"
+        "under the row's network preset. The paper's Table 2 shape: modest\n"
+        "speedups on Aries/IB (1.3-3.7x end-to-end), 12-26x on GigE.\n"
+    )
+    return format_table(headers, rows, title="Table 2: MPI-OPT sparse vs dense") + note
+
+
+def test_table2_mpiopt_speedups(benchmark):
+    results = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_result("table2_mpiopt", _render(results))
+
+    by_key = {(r["system"], r["dataset"], r["model"], r["P"]): r for r in results}
+    # the communication is lossless: identical final models everywhere
+    assert all(r["same_model"] for r in results)
+    # sparse must beat dense end-to-end on every row
+    for r in results:
+        assert r["sparse_total"] < r["dense_total"], r
+    # GigE *communication* speedups dominate the fast-network ones (paper:
+    # 23.8-25.8x on GigE vs 3.6-7x on Aries/IB for the same workloads); the
+    # end-to-end ratio is muddied by compute, so the comm ratio is the
+    # robust claim.
+    gige = by_key[("Greina (GigE)", "url", "LR", 8)]
+    aries = by_key[("Piz Daint", "url", "LR", 8)]
+    assert (gige["dense_comm"] / gige["sparse_comm"]) > (
+        aries["dense_comm"] / aries["sparse_comm"]
+    )
+    assert gige["dense_comm"] / gige["sparse_comm"] > 4
+    # on GigE the epoch is communication-bound (comm >= 90% of dense epoch)
+    assert gige["dense_comm"] / gige["dense_total"] > 0.9

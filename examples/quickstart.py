@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: sparse allreduce vs the dense MPI baseline.
+
+Eight simulated ranks each contribute a sparse gradient-like vector
+(dimension 1M, 0.1% density); we run every SparCML algorithm plus the
+dense baselines, verify they all compute the identical sum, and compare
+communication volume and replayed time on a supercomputer-class and a
+Gigabit-Ethernet-class network.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ARIES,
+    GIGE,
+    SparseStream,
+    dense_allreduce,
+    replay,
+    run_ranks,
+    sparse_allreduce,
+)
+from repro.streams import reduce_streams
+
+DIMENSION = 1 << 20  # 1M coordinates
+NNZ = 1000  # ~0.1% density per node
+P = 8
+
+
+def make_contribution(rank: int) -> SparseStream:
+    """Each rank's sparse input (seeded: reproducible across runs)."""
+    rng = np.random.default_rng(1000 + rank)
+    return SparseStream.random_uniform(DIMENSION, nnz=NNZ, rng=rng)
+
+
+def main() -> None:
+    reference = reduce_streams([make_contribution(r) for r in range(P)]).to_dense()
+
+    print(f"P={P} ranks, N={DIMENSION}, k={NNZ} nonzeros/rank "
+          f"(d={NNZ / DIMENSION:.3%})\n")
+    header = f"{'algorithm':<20}{'correct':<9}{'MB sent':>9}{'aries':>12}{'gige':>12}"
+    print(header)
+    print("-" * len(header))
+
+    sparse_algos = ["ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "dsar_split_ag", "auto"]
+    for algo in sparse_algos:
+        def program(comm, algo=algo):
+            return sparse_allreduce(comm, make_contribution(comm.rank), algorithm=algo)
+
+        out = run_ranks(program, P)
+        correct = all(np.allclose(out[r].to_dense(), reference, atol=1e-4) for r in range(P))
+        t_aries = replay(out.trace, ARIES).makespan
+        t_gige = replay(out.trace, GIGE).makespan
+        print(
+            f"{algo:<20}{str(correct):<9}"
+            f"{out.trace.total_bytes_sent / 1e6:>9.2f}"
+            f"{t_aries * 1e6:>10.1f}us{t_gige * 1e3:>10.2f}ms"
+        )
+
+    for algo in ["dense_rec_dbl", "dense_ring", "dense_rabenseifner"]:
+        def dense_program(comm, algo=algo):
+            return dense_allreduce(comm, make_contribution(comm.rank).to_dense(), algorithm=algo)
+
+        out = run_ranks(dense_program, P)
+        correct = all(np.allclose(out[r], reference, atol=1e-4) for r in range(P))
+        t_aries = replay(out.trace, ARIES).makespan
+        t_gige = replay(out.trace, GIGE).makespan
+        print(
+            f"{algo:<20}{str(correct):<9}"
+            f"{out.trace.total_bytes_sent / 1e6:>9.2f}"
+            f"{t_aries * 1e6:>10.1f}us{t_gige * 1e3:>10.2f}ms"
+        )
+
+    print("\nAt this density the static-sparse algorithms move ~100x fewer bytes")
+    print("than any dense allreduce — the headline effect of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quantized TopK SGD on a neural network (paper Algorithm 1, §8.3).
+
+Data-parallel training of an MLP on a CIFAR-like task across 8 simulated
+ranks, comparing:
+
+* dense SGD (full-precision gradients, Rabenseifner allreduce),
+* TopK SGD (k=8 of every 512 coordinates, error feedback),
+* TopK + 4-bit QSGD (the full Algorithm 1).
+
+The sparse variants recover the dense accuracy while sending ~50x fewer
+bytes per step — the Fig. 4a story.
+
+Run:  python examples/topk_sgd_neural_net.py
+"""
+
+from repro import GIGE, TopKSGDConfig, dense_sgd, quantized_topk_sgd, replay, run_ranks
+from repro.mlopt import make_cifar_like
+from repro.nn import make_eval_fn, make_grad_fn, make_mlp
+
+P = 8
+STEPS = 150
+DIM = 512
+
+
+def main() -> None:
+    dataset = make_cifar_like(n_samples=1024, dim=DIM)
+
+    def build(comm):
+        net = make_mlp(DIM, 10, hidden=(128,), seed=42)
+        grad_fn = make_grad_fn(net, dataset, comm, batch_size=32, seed=3)
+        eval_fn = make_eval_fn(net, dataset, max_samples=512)
+        return net, grad_fn, eval_fn
+
+    def topk_program(comm, bits):
+        net, grad_fn, eval_fn = build(comm)
+        cfg = TopKSGDConfig(k=8, bucket_size=512, lr=0.05, quantizer_bits=bits)
+        return quantized_topk_sgd(
+            comm, grad_fn, net.n_params, STEPS, cfg, eval_fn,
+            eval_every=50, init_params=net.param_vector(),
+        )
+
+    def dense_program(comm):
+        net, grad_fn, eval_fn = build(comm)
+        return dense_sgd(
+            comm, grad_fn, net.n_params, STEPS, lr=0.05 / comm.size,
+            eval_fn=eval_fn, eval_every=50, init_params=net.param_vector(),
+        )
+
+    variants = {
+        "dense SGD": dense_program,
+        "TopK (8/512)": lambda c: topk_program(c, None),
+        "TopK + 4-bit QSGD": lambda c: topk_program(c, 4),
+    }
+
+    header = f"{'variant':<20}{'final acc':>10}{'KB/step':>9}{'GigE comm/step':>16}"
+    print(f"MLP ({make_mlp(DIM, 10, hidden=(128,), seed=42).n_params} params), "
+          f"P={P}, {STEPS} steps\n")
+    print(header)
+    print("-" * len(header))
+    for name, program in variants.items():
+        out = run_ranks(program, P)
+        result = out[0]
+        acc = result.history[-1]["accuracy"]
+        comm_time = replay(out.trace, GIGE.with_(gamma=0.0)).makespan / STEPS
+        print(
+            f"{name:<20}{acc:>10.3f}{result.mean_bytes_per_step / 1e3:>9.2f}"
+            f"{comm_time * 1e3:>14.2f}ms"
+        )
+    print("\nAccuracy trajectory (TopK + 4-bit):")
+    out = run_ranks(lambda c: topk_program(c, 4), P)
+    for h in out[0].history:
+        print(f"  step {h['step']:>4}: loss={h['loss']:.3f} acc={h['accuracy']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

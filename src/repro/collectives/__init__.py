@@ -1,0 +1,43 @@
+"""Sparse and dense collective algorithms (paper §5.3)."""
+
+from .allgather import (
+    allgather_blocks,
+    allgather_recursive_doubling,
+    allgather_ring,
+    sparse_allgather,
+)
+from .api import ALGORITHMS, dense_allreduce, sparse_allreduce
+from .dense import (
+    DENSE_ALGORITHMS,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    partition_bounds,
+)
+from .dsar import dsar_split_allgather
+from .selector import SMALL_MESSAGE_BYTES, SPARSE_ALGORITHMS, choose_algorithm
+from .sparse import slice_stream, split_phase, ssar_recursive_double, ssar_ring, ssar_split_allgather
+
+__all__ = [
+    "allgather_blocks",
+    "allgather_recursive_doubling",
+    "allgather_ring",
+    "sparse_allgather",
+    "ALGORITHMS",
+    "dense_allreduce",
+    "sparse_allreduce",
+    "DENSE_ALGORITHMS",
+    "allreduce_rabenseifner",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "partition_bounds",
+    "dsar_split_allgather",
+    "SMALL_MESSAGE_BYTES",
+    "SPARSE_ALGORITHMS",
+    "choose_algorithm",
+    "slice_stream",
+    "split_phase",
+    "ssar_recursive_double",
+    "ssar_ring",
+    "ssar_split_allgather",
+]

@@ -1,0 +1,111 @@
+"""Public entry points for sparse and dense collective operations.
+
+This is the user-facing surface of the communication library — the analog
+of SparCML's MPI-like interface ("The SparCML library provides a similar
+interface to that of standard MPI calls, with the caveat that the data
+representation is assumed to be a sparse stream", §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant import QSGDQuantizer
+from ..runtime.comm import Communicator
+from ..streams import SparseStream
+from ..streams.ops import REDUCE_OPS, SUM, ReduceOp
+from .allgather import sparse_allgather
+from .dense import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+)
+from .dsar import dsar_split_allgather
+from .selector import choose_algorithm
+from .sparse import ssar_recursive_double, ssar_ring, ssar_split_allgather
+
+__all__ = ["sparse_allreduce", "dense_allreduce", "sparse_allgather", "ALGORITHMS"]
+
+ALGORITHMS = {
+    "ssar_rec_dbl": ssar_recursive_double,
+    "ssar_split_ag": ssar_split_allgather,
+    "ssar_ring": ssar_ring,
+    "dsar_split_ag": dsar_split_allgather,
+}
+
+DENSE = {
+    "dense_rec_dbl": allreduce_recursive_doubling,
+    "dense_ring": allreduce_ring,
+    "dense_rabenseifner": allreduce_rabenseifner,
+}
+
+
+def _resolve_op(op: "ReduceOp | str") -> ReduceOp:
+    if isinstance(op, ReduceOp):
+        return op
+    if op in REDUCE_OPS:
+        return REDUCE_OPS[op]
+    raise ValueError(f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)}")
+
+
+def sparse_allreduce(
+    comm: Communicator,
+    stream: SparseStream,
+    algorithm: str = "auto",
+    quantizer: QSGDQuantizer | None = None,
+    op: "ReduceOp | str" = SUM,
+) -> SparseStream:
+    """Element-wise sum of one sparse stream per rank, result on all ranks.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator; all ranks must call with the same
+        ``algorithm`` and compatible stream dimensions/dtypes.
+    stream:
+        The local contribution (sparse or dense representation).
+    algorithm:
+        ``"auto"`` (selector heuristic of §5.3), or one of
+        ``ssar_rec_dbl``, ``ssar_split_ag``, ``ssar_ring``,
+        ``dsar_split_ag``.
+    quantizer:
+        Optional QSGD quantizer applied to the dense stage; only meaningful
+        for ``dsar_split_ag`` (ignored with a warning-free no-op otherwise,
+        matching the paper: low precision targets the dense case).
+    op:
+        The coordinate-wise reduction (§5.2): a :class:`ReduceOp` or one of
+        ``"sum"``, ``"max"``, ``"min"``, ``"prod"``. Missing sparse entries
+        are treated as the operation's neutral element.
+
+    Returns
+    -------
+    SparseStream
+        The sum; representation (sparse/dense) reflects actual fill-in.
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(
+            stream.dimension,
+            comm.size,
+            stream.nnz,
+            stream.value_dtype.itemsize,
+        )
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)} or 'auto'"
+        )
+    reduce_op = _resolve_op(op)
+    if algorithm == "dsar_split_ag":
+        return dsar_split_allgather(comm, stream, quantizer=quantizer, op=reduce_op)
+    return ALGORITHMS[algorithm](comm, stream, op=reduce_op)
+
+
+def dense_allreduce(
+    comm: Communicator,
+    vec: np.ndarray,
+    algorithm: str = "dense_rabenseifner",
+    op: "ReduceOp | str" = SUM,
+) -> np.ndarray:
+    """Dense allreduce baseline (the 'MPI' the paper compares against)."""
+    if algorithm not in DENSE:
+        raise ValueError(f"unknown dense algorithm {algorithm!r}; choose from {sorted(DENSE)}")
+    return DENSE[algorithm](comm, vec, op=_resolve_op(op))

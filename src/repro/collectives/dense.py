@@ -1,0 +1,215 @@
+"""Dense allreduce baselines (the algorithms MPI libraries ship, §5.3).
+
+These are the comparison points of the paper's evaluation:
+
+* **recursive doubling** — log2(P) rounds of pairwise exchange of the full
+  vector; latency-optimal, bandwidth-suboptimal (`log2(P) * N * beta`);
+* **ring** — reduce-scatter ring followed by an allgather ring; bandwidth
+  optimal (``2 (P-1)/P N beta``) but latency ``2 (P-1) alpha``;
+* **Rabenseifner** — recursive-halving reduce-scatter followed by a
+  recursive-doubling allgather; ``2 log2(P) alpha + 2 (P-1)/P N beta``.
+
+All operate on 1-D numpy arrays, work for any P (non-powers of two are
+folded in/out following App. A), and charge local reduction work to the
+trace so replay accounts for computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.comm import Communicator
+from ..streams.ops import SUM, ReduceOp
+
+__all__ = [
+    "partition_bounds",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allreduce_rabenseifner",
+    "DENSE_ALGORITHMS",
+]
+
+
+def partition_bounds(dimension: int, nparts: int) -> np.ndarray:
+    """Balanced partition offsets: part ``i`` covers ``[b[i], b[i+1])``.
+
+    Uses the balanced ``i*N//P`` rule (App. A's relaxation of the "N
+    divisible by P" assumption, with the remainder spread instead of dumped
+    on the last rank).
+    """
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    if dimension < 0:
+        raise ValueError(f"dimension must be >= 0, got {dimension}")
+    return np.array([(i * dimension) // nparts for i in range(nparts + 1)], dtype=np.int64)
+
+
+def _fold_prelude(comm: Communicator, vec: np.ndarray, tag: int, op: ReduceOp = SUM):
+    """Fold non-power-of-two ranks into a power-of-two group.
+
+    Returns ``(newrank, pof2, rem, vec)``; ``newrank`` is -1 for ranks that
+    sit out the main algorithm and receive the result afterwards.
+    """
+    pof2 = 1
+    while pof2 * 2 <= comm.size:
+        pof2 *= 2
+    rem = comm.size - pof2
+    if rem == 0:
+        return comm.rank, pof2, 0, vec
+    if comm.rank < 2 * rem:
+        if comm.rank % 2 == 0:
+            comm.send(vec, comm.rank + 1, tag)
+            return -1, pof2, rem, vec
+        incoming = comm.recv(comm.rank - 1, tag)
+        comm.compute(vec.nbytes * 2, "fold")
+        vec = op.ufunc(vec, incoming)
+        return comm.rank // 2, pof2, rem, vec
+    return comm.rank - rem, pof2, rem, vec
+
+
+def _fold_epilogue(comm: Communicator, vec: np.ndarray, newrank: int, rem: int, tag: int) -> np.ndarray:
+    """Return results to the folded-out ranks."""
+    if rem == 0:
+        return vec
+    if comm.rank < 2 * rem:
+        if comm.rank % 2 == 0:
+            return comm.recv(comm.rank + 1, tag)
+        comm.send(vec, comm.rank - 1, tag)
+    return vec
+
+
+def _real_rank(newrank: int, rem: int) -> int:
+    """Map a folded group rank back to the world rank."""
+    return newrank * 2 + 1 if newrank < rem else newrank + rem
+
+
+def allreduce_recursive_doubling(
+    comm: Communicator, vec: np.ndarray, op: ReduceOp = SUM
+) -> np.ndarray:
+    """Dense allreduce via recursive doubling; returns the reduced vector."""
+    vec = np.asarray(vec)
+    if comm.size == 1:
+        return vec.copy()
+    base = comm.next_collective_tag()
+    comm.mark("dense_rec_dbl")
+    newrank, pof2, rem, work = _fold_prelude(comm, vec, base, op)
+    if newrank >= 0:
+        work = work.copy() if work is vec else work
+        distance = 1
+        round_no = 1
+        while distance < pof2:
+            partner = _real_rank(newrank ^ distance, rem)
+            incoming = comm.sendrecv(work, partner, base + round_no)
+            comm.compute(work.nbytes * 2, "reduce")
+            op.combine(work, incoming, out=work)
+            distance *= 2
+            round_no += 1
+    result = _fold_epilogue(comm, work, newrank, rem, base)
+    return result
+
+
+def allreduce_ring(comm: Communicator, vec: np.ndarray, op: ReduceOp = SUM) -> np.ndarray:
+    """Dense allreduce via reduce-scatter ring + allgather ring."""
+    vec = np.asarray(vec)
+    P = comm.size
+    if P == 1:
+        return vec.copy()
+    base = comm.next_collective_tag()
+    comm.mark("dense_ring")
+    bounds = partition_bounds(vec.shape[0], P)
+    blocks = [vec[bounds[i]: bounds[i + 1]].copy() for i in range(P)]
+    right = (comm.rank + 1) % P
+    left = (comm.rank - 1) % P
+
+    # reduce-scatter: after P-1 steps, rank r holds the sum of block (r+1)%P.
+    # A single tag per phase suffices: messages on one (src, dst, tag)
+    # channel are FIFO, so step s+1 can never overtake step s.
+    for step in range(P - 1):
+        send_block = (comm.rank - step) % P
+        recv_block = (comm.rank - step - 1) % P
+        incoming = _ring_exchange(comm, blocks[send_block], right, left, base)
+        comm.compute(blocks[recv_block].nbytes * 2, "reduce")
+        blocks[recv_block] = op.ufunc(blocks[recv_block], incoming)
+
+    # allgather ring: circulate the reduced blocks
+    for step in range(P - 1):
+        send_block = (comm.rank - step + 1) % P
+        recv_block = (comm.rank - step) % P
+        blocks[recv_block] = _ring_exchange(
+            comm, blocks[send_block], right, left, base + 1
+        )
+
+    return np.concatenate(blocks)
+
+
+def _ring_exchange(comm: Communicator, payload: np.ndarray, right: int, left: int, tag: int) -> np.ndarray:
+    req = comm.isend(payload, right, tag)
+    incoming = comm.recv(left, tag)
+    req.wait()
+    return incoming
+
+
+def allreduce_rabenseifner(
+    comm: Communicator, vec: np.ndarray, op: ReduceOp = SUM
+) -> np.ndarray:
+    """Rabenseifner's algorithm: recursive-halving RS + recursive-doubling AG.
+
+    ``2 log2(P) alpha + 2 (P-1)/P N beta`` — the large-message workhorse the
+    paper's SSAR_Split_allgather is modelled on.
+    """
+    vec = np.asarray(vec)
+    if comm.size == 1:
+        return vec.copy()
+    base = comm.next_collective_tag()
+    comm.mark("dense_rabenseifner")
+    newrank, pof2, rem, work = _fold_prelude(comm, vec, base, op)
+    result: np.ndarray | None = None
+    if newrank >= 0:
+        work = work.copy() if work is vec else work
+        n = work.shape[0]
+        lo, hi = 0, n
+        distance = pof2 // 2
+        round_no = 1
+        # recursive halving reduce-scatter: shrink [lo, hi) each round
+        while distance >= 1:
+            group = newrank // (2 * distance) * (2 * distance)
+            in_low_half = (newrank - group) < distance
+            mid = lo + (hi - lo) // 2
+            partner_new = newrank + distance if in_low_half else newrank - distance
+            partner = _real_rank(partner_new, rem)
+            if in_low_half:
+                send_slice, keep = work[mid:hi], (lo, mid)
+            else:
+                send_slice, keep = work[lo:mid], (mid, hi)
+            incoming = comm.sendrecv(send_slice, partner, base + round_no)
+            lo, hi = keep
+            comm.compute(work[lo:hi].nbytes * 2, "reduce")
+            op.combine(work[lo:hi], incoming, out=work[lo:hi])
+            distance //= 2
+            round_no += 1
+        # allgather by recursive doubling: grow [lo, hi) back to [0, n)
+        distance = 1
+        while distance < pof2:
+            group = newrank // (2 * distance) * (2 * distance)
+            in_low_half = (newrank - group) < distance
+            partner_new = newrank + distance if in_low_half else newrank - distance
+            partner = _real_rank(partner_new, rem)
+            incoming = comm.sendrecv(work[lo:hi], partner, base + round_no)
+            if in_low_half:
+                work[hi: hi + incoming.shape[0]] = incoming
+                hi += incoming.shape[0]
+            else:
+                work[lo - incoming.shape[0]: lo] = incoming
+                lo -= incoming.shape[0]
+            distance *= 2
+            round_no += 1
+        result = work
+    final = _fold_epilogue(comm, result if result is not None else vec, newrank, rem, base)
+    return final
+
+
+DENSE_ALGORITHMS = {
+    "dense_rec_dbl": allreduce_recursive_doubling,
+    "dense_ring": allreduce_ring,
+    "dense_rabenseifner": allreduce_rabenseifner,
+}

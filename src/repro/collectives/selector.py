@@ -1,0 +1,76 @@
+"""Automatic algorithm selection (paper §5.3: "In practice, allreduce
+implementations switch between different implementations depending on the
+message size and the number of processes").
+
+The selector mirrors the paper's guidance:
+
+* if the expected reduced size ``K`` exceeds the sparse-efficiency
+  threshold ``delta`` the instance is *dynamic* → DSAR;
+* otherwise, small reduced payloads are latency-bound → recursive doubling;
+* large static-sparse payloads → split + sparse allgather.
+
+``K`` is estimated with the uniform fill-in model of Appendix B when the
+user provides no better estimate ("we require the user to have some rough
+idea about K", §5.3) — uniform supports are the worst case for fill-in.
+"""
+
+from __future__ import annotations
+
+from ..analysis.density import expected_union_size
+from ..config import INDEX_BYTES, delta_threshold
+
+__all__ = ["choose_algorithm", "SMALL_MESSAGE_BYTES", "SPARSE_ALGORITHMS"]
+
+#: below this many reduced payload bytes, latency dominates bandwidth and
+#: recursive doubling wins (the classic small-message switch point).
+SMALL_MESSAGE_BYTES = 64 * 1024
+
+SPARSE_ALGORITHMS = (
+    "ssar_rec_dbl",
+    "ssar_split_ag",
+    "ssar_ring",
+    "dsar_split_ag",
+)
+
+
+def choose_algorithm(
+    dimension: int,
+    nranks: int,
+    nnz_per_rank: int,
+    value_itemsize: int = 4,
+    expected_k: float | None = None,
+    small_message_bytes: int = SMALL_MESSAGE_BYTES,
+) -> str:
+    """Pick a sparse allreduce algorithm for the given instance.
+
+    Parameters
+    ----------
+    dimension, nranks, nnz_per_rank:
+        Problem shape ``N``, ``P``, ``k``.
+    value_itemsize:
+        Bytes per value (4 for float32).
+    expected_k:
+        User estimate of the reduced size ``K``; defaults to the uniform
+        fill-in expectation ``N (1 - (1 - k/N)^P)``.
+    small_message_bytes:
+        The latency/bandwidth switch point.
+
+    Returns
+    -------
+    str
+        One of :data:`SPARSE_ALGORITHMS` (never ``ssar_ring``, which exists
+        as an explicit comparison point only).
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if not 0 <= nnz_per_rank <= dimension:
+        raise ValueError(f"nnz_per_rank must be in [0, {dimension}], got {nnz_per_rank}")
+    if expected_k is None:
+        expected_k = expected_union_size(nnz_per_rank, dimension, nranks)
+    delta = delta_threshold(dimension, value_itemsize, INDEX_BYTES)
+    if expected_k > delta:
+        return "dsar_split_ag"
+    reduced_bytes = expected_k * (INDEX_BYTES + value_itemsize)
+    if reduced_bytes <= small_message_bytes:
+        return "ssar_rec_dbl"
+    return "ssar_split_ag"

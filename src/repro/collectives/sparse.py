@@ -1,0 +1,225 @@
+"""Static sparse allreduce algorithms (paper §5.3.1–5.3.2).
+
+*Static* (SSAR) means the reduced result is expected to stay below the
+sparse-efficiency threshold ``delta``, so every stage works on index/value
+pairs:
+
+* :func:`ssar_recursive_double` — the small-data algorithm (Fig. 2):
+  log2(P) rounds of pairwise exchange-and-merge; latency optimal
+  (``log2(P) alpha``), bandwidth between ``log2(P) k beta_s`` (full overlap)
+  and ``(P-1) k beta_s`` (no overlap).
+* :func:`ssar_split_allgather` — the large-data algorithm: a *split* phase
+  partitioning the dimension across ranks via direct sends (latency
+  ``(P-1) alpha``, mitigated with non-blocking sends), followed by a sparse
+  allgather of the reduced partitions.
+* :func:`ssar_ring` — the sparse counterpart of the ring allreduce used as
+  a comparison point in Fig. 3.
+
+None of the algorithms assumes knowledge of the input distribution; the
+representation switch to dense (for DSAR instances) happens automatically
+inside stream summation if fill-in exceeds ``delta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.comm import Communicator
+from ..streams import SparseStream, add_streams_, concat_disjoint, reduction_work_bytes
+from ..streams.ops import SUM, ReduceOp
+from ..streams.summation import merge_sparse_pairs
+from .allgather import allgather_blocks
+from .dense import partition_bounds
+
+__all__ = [
+    "ssar_recursive_double",
+    "ssar_split_allgather",
+    "ssar_ring",
+    "split_phase",
+    "slice_stream",
+]
+
+
+def slice_stream(stream: SparseStream, lo: int, hi: int) -> SparseStream:
+    """Restriction of a sparse stream to global index range ``[lo, hi)``.
+
+    Indices stay global, so partition slices remain disjoint and can be
+    re-assembled by concatenation.
+    """
+    if stream.is_dense:
+        raise ValueError("slice_stream expects a sparse stream")
+    idx = stream.indices
+    start = int(np.searchsorted(idx, lo, side="left"))
+    stop = int(np.searchsorted(idx, hi, side="left"))
+    return SparseStream(
+        stream.dimension,
+        indices=idx[start:stop],
+        values=stream.values[start:stop],
+        value_dtype=stream.value_dtype,
+        copy=False,
+    )
+
+
+def _ensure_sparse(stream: SparseStream) -> SparseStream:
+    """Sparse algorithms start from the pair representation."""
+    if stream.is_dense:
+        return stream.copy().sparsify()
+    return stream
+
+
+def ssar_recursive_double(
+    comm: Communicator, stream: SparseStream, op: ReduceOp = SUM
+) -> SparseStream:
+    """SSAR_Recursive_double: pairwise exchange + sparse merge, log2(P) rounds.
+
+    Works for any P via the fold-in/fold-out relaxation of App. A. The
+    result (identical on every rank) may come back dense if fill-in crossed
+    ``delta`` — the stream header records which.
+    """
+    stream = _ensure_sparse(stream)
+    if comm.size == 1:
+        return stream.copy()
+    base = comm.next_collective_tag()
+    comm.mark("ssar_rec_dbl")
+
+    pof2 = 1
+    while pof2 * 2 <= comm.size:
+        pof2 *= 2
+    rem = comm.size - pof2
+
+    acc = stream.copy()
+    newrank = comm.rank
+    if rem:
+        if comm.rank < 2 * rem:
+            if comm.rank % 2 == 0:
+                comm.send(acc, comm.rank + 1, base)
+                result = comm.recv(comm.rank + 1, base + 63)
+                return result
+            incoming = comm.recv(comm.rank - 1, base)
+            comm.compute(reduction_work_bytes(acc, incoming), "reduce")
+            add_streams_(acc, incoming, op)
+            newrank = comm.rank // 2
+        else:
+            newrank = comm.rank - rem
+
+    distance = 1
+    round_no = 1
+    while distance < pof2:
+        partner_new = newrank ^ distance
+        partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+        incoming = comm.sendrecv(acc, partner, base + round_no)
+        comm.compute(reduction_work_bytes(acc, incoming), "reduce")
+        add_streams_(acc, incoming, op)
+        distance *= 2
+        round_no += 1
+
+    if rem and comm.rank < 2 * rem and comm.rank % 2 == 1:
+        comm.send(acc, comm.rank - 1, base + 63)
+    return acc
+
+
+def split_phase(
+    comm: Communicator,
+    stream: SparseStream,
+    bounds: np.ndarray,
+    tag: int,
+    op: ReduceOp = SUM,
+) -> SparseStream:
+    """The split (reduce-scatter-by-range) phase shared by SSAR/DSAR.
+
+    Each rank slices its input by the dimension partition and sends slice
+    ``j`` directly to rank ``j`` with non-blocking sends, then reduces the
+    P-1 received slices (plus its own) for its partition. Latency
+    ``(P-1) alpha``; bandwidth between 0 and ``k beta_s`` (§5.3.2).
+
+    Returns this rank's reduced partition (global indices, sparse).
+    """
+    P = comm.size
+    comm.mark("split")
+    requests = []
+    for offset in range(1, P):
+        dest = (comm.rank + offset) % P
+        piece = slice_stream(stream, int(bounds[dest]), int(bounds[dest + 1]))
+        requests.append(comm.isend(piece, dest, tag))
+
+    own = slice_stream(stream, int(bounds[comm.rank]), int(bounds[comm.rank + 1]))
+    idx, val = own.indices.copy(), own.values.copy()
+    for offset in range(1, P):
+        src = (comm.rank - offset) % P
+        piece: SparseStream = comm.recv(src, tag)
+        comm.compute((idx.size + piece.nnz) * (4 + own.value_dtype.itemsize) * 2, "reduce")
+        idx, val = merge_sparse_pairs(idx, val, piece.indices, piece.values, op)
+    for req in requests:
+        req.wait()
+    return SparseStream(
+        stream.dimension, indices=idx, values=val, value_dtype=stream.value_dtype, copy=False
+    )
+
+
+def ssar_split_allgather(
+    comm: Communicator, stream: SparseStream, op: ReduceOp = SUM
+) -> SparseStream:
+    """SSAR_Split_allgather: split phase + sparse allgather (§5.3.2).
+
+    Latency ``L2(P) = (P-1) alpha + log2(P) alpha``; bandwidth between
+    ``2 (P-1)/P k beta_s`` and ``P k beta_s`` depending on overlap.
+    """
+    stream = _ensure_sparse(stream)
+    if comm.size == 1:
+        return stream.copy()
+    base = comm.next_collective_tag()
+    bounds = partition_bounds(stream.dimension, comm.size)
+    reduced = split_phase(comm, stream, bounds, base, op)
+    comm.mark("allgather")
+    pieces = allgather_blocks(comm, reduced, base + 1)
+    comm.compute(
+        sum(p.nnz for p in pieces) * (4 + stream.value_dtype.itemsize), "concat"
+    )
+    return concat_disjoint(pieces, stream.dimension)
+
+
+def ssar_ring(comm: Communicator, stream: SparseStream, op: ReduceOp = SUM) -> SparseStream:
+    """Sparse ring allreduce: ring reduce-scatter + ring allgather on slices.
+
+    The "sparse counterpart" of the ring-based dense allreduce compared in
+    the Fig. 3 micro-benchmarks. Bandwidth-efficient per stage but pays
+    ``2 (P-1) alpha`` latency.
+    """
+    stream = _ensure_sparse(stream)
+    P = comm.size
+    if P == 1:
+        return stream.copy()
+    base = comm.next_collective_tag()
+    comm.mark("ssar_ring")
+    bounds = partition_bounds(stream.dimension, P)
+    slices = [
+        slice_stream(stream, int(bounds[i]), int(bounds[i + 1])) for i in range(P)
+    ]
+    right = (comm.rank + 1) % P
+    left = (comm.rank - 1) % P
+
+    for step in range(P - 1):
+        send_block = (comm.rank - step) % P
+        recv_block = (comm.rank - step - 1) % P
+        req = comm.isend(slices[send_block], right, base)
+        incoming: SparseStream = comm.recv(left, base)
+        req.wait()
+        acc = slices[recv_block]
+        comm.compute(reduction_work_bytes(acc, incoming), "reduce")
+        idx, val = merge_sparse_pairs(
+            acc.indices, acc.values, incoming.indices, incoming.values, op
+        )
+        slices[recv_block] = SparseStream(
+            stream.dimension, indices=idx, values=val,
+            value_dtype=stream.value_dtype, copy=False,
+        )
+
+    for step in range(P - 1):
+        send_block = (comm.rank - step + 1) % P
+        recv_block = (comm.rank - step) % P
+        req = comm.isend(slices[send_block], right, base + 1)
+        slices[recv_block] = comm.recv(left, base + 1)
+        req.wait()
+
+    comm.compute(sum(s.nnz for s in slices) * (4 + stream.value_dtype.itemsize), "concat")
+    return concat_disjoint(slices, stream.dimension)

@@ -1,0 +1,87 @@
+"""Global configuration and constants for the SparCML reproduction.
+
+The paper fixes a handful of representation choices that the rest of the
+library depends on (Section 5.1 and Section 8 of the paper):
+
+* indices are stored as unsigned 32-bit integers ("Since our problems usually
+  have dimension N > 65K, we fix the datatype for storing an index to an
+  unsigned int"),
+* values are single or double precision floats,
+* every stream carries a one-word header that flags whether the payload is
+  sparse (index/value pairs) or dense (a contiguous value block),
+* the sparse representation is only kept while ``nnz <= delta`` where
+  ``delta = N * isize / (c + isize)``.
+
+This module centralises those constants so that the streams, collectives and
+cost-model packages agree on byte accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype used for non-zero indices throughout the library.
+INDEX_DTYPE = np.dtype(np.uint32)
+
+#: number of bytes of one stored index (``c`` in the paper's notation).
+INDEX_BYTES = INDEX_DTYPE.itemsize
+
+#: default dtype for stream values (``isize = 4`` bytes).
+DEFAULT_VALUE_DTYPE = np.dtype(np.float32)
+
+#: bytes of the stream header (the sparse/dense flag word, Section 5.1).
+STREAM_HEADER_BYTES = 8
+
+#: value dtypes the library accepts for streams.
+SUPPORTED_VALUE_DTYPES = (
+    np.dtype(np.float16),
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+)
+
+#: default QSGD bucket size (Section 6: "buckets of size B (in the order of
+#: 1024 consecutive entries)").
+DEFAULT_QSGD_BUCKET = 1024
+
+#: default seed used by deterministic components when none is supplied.
+DEFAULT_SEED = 0xC0FFEE
+
+
+def delta_threshold(dimension: int, value_itemsize: int, index_bytes: int = INDEX_BYTES) -> int:
+    """Sparsity-efficiency threshold ``delta`` from Section 5.1.
+
+    A sparse stream of ``nnz`` elements transmits ``nnz * (c + isize)`` bytes
+    while the dense format transmits ``N * isize`` bytes, so the sparse format
+    only reduces communication volume while::
+
+        nnz <= delta = N * isize / (c + isize)
+
+    Parameters
+    ----------
+    dimension:
+        Universe size ``N``.
+    value_itemsize:
+        Bytes per value (``isize``), e.g. 4 for float32.
+    index_bytes:
+        Bytes per index (``c``), 4 for the library default uint32.
+
+    Returns
+    -------
+    int
+        The largest number of non-zeros for which the sparse representation
+        is no larger than the dense one.
+    """
+    if dimension < 0:
+        raise ValueError(f"dimension must be non-negative, got {dimension}")
+    if value_itemsize <= 0 or index_bytes <= 0:
+        raise ValueError("itemsizes must be positive")
+    return (dimension * value_itemsize) // (index_bytes + value_itemsize)
+
+
+def validate_value_dtype(dtype: np.dtype | type) -> np.dtype:
+    """Return the canonical value dtype, rejecting unsupported ones."""
+    dt = np.dtype(dtype)
+    if dt not in SUPPORTED_VALUE_DTYPES:
+        supported = ", ".join(str(d) for d in SUPPORTED_VALUE_DTYPES)
+        raise TypeError(f"unsupported value dtype {dt}; supported: {supported}")
+    return dt

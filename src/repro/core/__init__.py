@@ -1,0 +1,29 @@
+"""The paper's primary contribution: TopK sparsification + Algorithm 1."""
+
+from .dgc import DGCConfig, WarmupSchedule, dgc_sgd
+from .fusion import FusedBucket, GradientFuser
+from .topk import (
+    ErrorFeedback,
+    quantize_stream_values,
+    topk_bucket_indices,
+    topk_global_indices,
+    topk_stream,
+)
+from .topk_sgd import TopKSGDConfig, TopKSGDResult, dense_sgd, quantized_topk_sgd
+
+__all__ = [
+    "DGCConfig",
+    "WarmupSchedule",
+    "dgc_sgd",
+    "FusedBucket",
+    "GradientFuser",
+    "ErrorFeedback",
+    "quantize_stream_values",
+    "topk_bucket_indices",
+    "topk_global_indices",
+    "topk_stream",
+    "TopKSGDConfig",
+    "TopKSGDResult",
+    "dense_sgd",
+    "quantized_topk_sgd",
+]

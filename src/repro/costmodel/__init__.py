@@ -1,0 +1,35 @@
+"""Analytic alpha-beta cost bounds (paper §5.3)."""
+
+from .bounds import (
+    Bounds,
+    beta_dense,
+    beta_sparse,
+    dense_rabenseifner_time,
+    dense_rec_dbl_time,
+    dense_ring_time,
+    dsar_split_ag_bounds,
+    latency_rec_dbl,
+    latency_split,
+    lemma_5_1_lower,
+    lemma_5_2_lower,
+    max_dsar_speedup,
+    ssar_rec_dbl_bounds,
+    ssar_split_ag_bounds,
+)
+
+__all__ = [
+    "Bounds",
+    "beta_dense",
+    "beta_sparse",
+    "dense_rabenseifner_time",
+    "dense_rec_dbl_time",
+    "dense_ring_time",
+    "dsar_split_ag_bounds",
+    "latency_rec_dbl",
+    "latency_split",
+    "lemma_5_1_lower",
+    "lemma_5_2_lower",
+    "max_dsar_speedup",
+    "ssar_rec_dbl_bounds",
+    "ssar_split_ag_bounds",
+]

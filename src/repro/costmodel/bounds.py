@@ -1,0 +1,186 @@
+"""Analytic alpha-beta bounds from §5.3 and Lemmas 5.1 / 5.2.
+
+All formulas return *seconds* under a :class:`~repro.netsim.model.NetworkModel`.
+The paper states them in "items"; we convert with
+
+* ``beta_s`` — transfer time of one sparse index/value pair
+  (``beta * (c + isize)`` seconds),
+* ``beta_d`` — transfer time of one dense value (``beta * isize``).
+
+The replayed execution times of the actual algorithms must land between the
+corresponding lower and upper bounds (validated by
+``benchmarks/bench_bounds_validation.py`` and the costmodel tests); the
+bounds ignore local reduction time, so replays are compared with
+``gamma = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import INDEX_BYTES, delta_threshold
+from ..netsim.model import NetworkModel
+
+__all__ = [
+    "Bounds",
+    "beta_sparse",
+    "beta_dense",
+    "latency_rec_dbl",
+    "latency_split",
+    "ssar_rec_dbl_bounds",
+    "ssar_split_ag_bounds",
+    "dsar_split_ag_bounds",
+    "dense_ring_time",
+    "dense_rec_dbl_time",
+    "dense_rabenseifner_time",
+    "lemma_5_1_lower",
+    "lemma_5_2_lower",
+    "max_dsar_speedup",
+]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A (lower, upper) runtime sandwich in seconds."""
+
+    lower: float
+    upper: float
+
+    def contains(self, t: float, slack: float = 1.05) -> bool:
+        """Check ``t`` lies in the sandwich, allowing ``slack`` headroom."""
+        return self.lower / slack <= t <= self.upper * slack
+
+
+def beta_sparse(model: NetworkModel, value_itemsize: int = 4) -> float:
+    """Seconds per sparse index/value pair (``beta_s``)."""
+    return model.beta * (INDEX_BYTES + value_itemsize)
+
+
+def beta_dense(model: NetworkModel, value_itemsize: int = 4) -> float:
+    """Seconds per dense value (``beta_d < beta_s``)."""
+    return model.beta * value_itemsize
+
+
+def latency_rec_dbl(nranks: int, model: NetworkModel) -> float:
+    """``L1(P) = log2(P) alpha`` — latency of the doubling schedules."""
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    return math.log2(nranks) * model.alpha if nranks > 1 else 0.0
+
+
+def latency_split(nranks: int, model: NetworkModel) -> float:
+    """``L2(P) = (P-1) alpha + L1(P)`` — split phase plus allgather."""
+    return (nranks - 1) * model.alpha + latency_rec_dbl(nranks, model)
+
+
+def ssar_rec_dbl_bounds(
+    nranks: int, nnz: int, model: NetworkModel, value_itemsize: int = 4
+) -> Bounds:
+    """§5.3.1: ``L1 + log2(P) k beta_s <= T <= L1 + (P-1) k beta_s``."""
+    l1 = latency_rec_dbl(nranks, model)
+    bs = beta_sparse(model, value_itemsize)
+    log_p = math.log2(nranks) if nranks > 1 else 0.0
+    return Bounds(l1 + log_p * nnz * bs, l1 + (nranks - 1) * nnz * bs)
+
+
+def ssar_split_ag_bounds(
+    nranks: int, nnz: int, model: NetworkModel, value_itemsize: int = 4
+) -> Bounds:
+    """§5.3.2: ``L2 + 2 (P-1)/P k beta_s <= T <= L2 + P k beta_s``."""
+    l2 = latency_split(nranks, model)
+    bs = beta_sparse(model, value_itemsize)
+    frac = (nranks - 1) / nranks
+    return Bounds(l2 + 2 * frac * nnz * bs, l2 + nranks * nnz * bs)
+
+
+def dsar_split_ag_bounds(
+    nranks: int,
+    nnz: int,
+    dimension: int,
+    model: NetworkModel,
+    value_itemsize: int = 4,
+) -> Bounds:
+    """§5.3.3: ``L2 + (P-1)/P N beta_d <= T <= L2 + k beta_s + (P-1)/P N beta_d``."""
+    l2 = latency_split(nranks, model)
+    bs = beta_sparse(model, value_itemsize)
+    bd = beta_dense(model, value_itemsize)
+    frac = (nranks - 1) / nranks
+    dense_term = frac * dimension * bd
+    return Bounds(l2 + dense_term, l2 + nnz * bs + dense_term)
+
+
+def dense_ring_time(
+    nranks: int, dimension: int, model: NetworkModel, value_itemsize: int = 4
+) -> float:
+    """Ring allreduce: ``2 (P-1) alpha + 2 (P-1)/P N beta_d``."""
+    if nranks == 1:
+        return 0.0
+    bd = beta_dense(model, value_itemsize)
+    frac = (nranks - 1) / nranks
+    return 2 * (nranks - 1) * model.alpha + 2 * frac * dimension * bd
+
+
+def dense_rec_dbl_time(
+    nranks: int, dimension: int, model: NetworkModel, value_itemsize: int = 4
+) -> float:
+    """Recursive doubling: ``log2(P) (alpha + N beta_d)``."""
+    if nranks == 1:
+        return 0.0
+    bd = beta_dense(model, value_itemsize)
+    return math.log2(nranks) * (model.alpha + dimension * bd)
+
+
+def dense_rabenseifner_time(
+    nranks: int, dimension: int, model: NetworkModel, value_itemsize: int = 4
+) -> float:
+    """Rabenseifner (§5.3.2): ``2 log2(P) alpha + 2 (P-1)/P N beta_d``."""
+    if nranks == 1:
+        return 0.0
+    bd = beta_dense(model, value_itemsize)
+    frac = (nranks - 1) / nranks
+    return 2 * math.log2(nranks) * model.alpha + 2 * frac * dimension * bd
+
+
+def lemma_5_1_lower(
+    nranks: int,
+    nnz: int,
+    model: NetworkModel,
+    value_itemsize: int = 4,
+    overlap: str = "none",
+) -> float:
+    """Lemma 5.1 lower bounds for sparse allreduce.
+
+    ``overlap="none"`` is the maximum fill-in case K = kP:
+    ``log2(P) alpha + (P-1) k beta_d``; ``overlap="full"`` is K = k:
+    ``log2(P) alpha + 2 (P-1)/P k beta_d``.
+    """
+    l1 = latency_rec_dbl(nranks, model)
+    bd = beta_dense(model, value_itemsize)
+    if overlap == "none":
+        return l1 + (nranks - 1) * nnz * bd
+    if overlap == "full":
+        return l1 + 2 * (nranks - 1) / nranks * nnz * bd
+    raise ValueError(f"overlap must be 'none' or 'full', got {overlap!r}")
+
+
+def lemma_5_2_lower(
+    nranks: int, dimension: int, model: NetworkModel, value_itemsize: int = 4
+) -> float:
+    """Lemma 5.2: any DSAR algorithm needs ``>= log2(P) alpha + delta beta_d``."""
+    delta = delta_threshold(dimension, value_itemsize, INDEX_BYTES)
+    return latency_rec_dbl(nranks, model) + delta * beta_dense(model, value_itemsize)
+
+
+def max_dsar_speedup(kappa: float) -> float:
+    """Maximum sparse-over-dense speedup when the result is dense (§5.3.3).
+
+    The dense allreduce bandwidth term is ``2 (P-1)/P N beta_d ~ 2 N beta_d``
+    and the DSAR lower bound is ``delta beta_d = kappa N beta_d``, capping
+    the speedup at ``2 / kappa`` (with ``kappa = 0.5`` this yields the 4x
+    the paper quotes; the paper's "2 kappa" phrasing is the same quantity
+    written for ``delta = kappa N`` with kappa expressed as a divisor).
+    """
+    if not 0 < kappa <= 1:
+        raise ValueError(f"kappa must be in (0, 1], got {kappa}")
+    return 2.0 / kappa

@@ -1,0 +1,5 @@
+"""Comparison framework baselines (the Spark analog, §8.2)."""
+
+from .spark_like import coordinator_allreduce, tree_aggregate
+
+__all__ = ["coordinator_allreduce", "tree_aggregate"]

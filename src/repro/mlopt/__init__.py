@@ -1,0 +1,52 @@
+"""MPI-OPT reproduction: distributed optimisation on sparse data (§8.2)."""
+
+from .datasets import (
+    DenseDataset,
+    SequenceDataset,
+    SparseDataset,
+    TABLE1_SHAPES,
+    make_cifar_like,
+    make_dense_classification,
+    make_imagenet_like,
+    make_sequence_task,
+    make_sparse_classification,
+    make_url_like,
+    make_webspam_like,
+    partition_rows,
+)
+from .async_sgd import distributed_sgd_async
+from .io import dataset_info, load_dataset, load_shard, save_dataset
+from .linear import LinearModel, LinearSVM, LogisticRegression, sparse_grad_from_batch
+from .metrics import EpochRecord, RunHistory
+from .scd import SCDConfig, distributed_scd
+from .sgd import SGDConfig, distributed_sgd
+
+__all__ = [
+    "DenseDataset",
+    "SequenceDataset",
+    "SparseDataset",
+    "TABLE1_SHAPES",
+    "make_cifar_like",
+    "make_dense_classification",
+    "make_imagenet_like",
+    "make_sequence_task",
+    "make_sparse_classification",
+    "make_url_like",
+    "make_webspam_like",
+    "partition_rows",
+    "LinearModel",
+    "LinearSVM",
+    "LogisticRegression",
+    "sparse_grad_from_batch",
+    "EpochRecord",
+    "RunHistory",
+    "SCDConfig",
+    "distributed_scd",
+    "SGDConfig",
+    "distributed_sgd",
+    "distributed_sgd_async",
+    "dataset_info",
+    "load_dataset",
+    "load_shard",
+    "save_dataset",
+]

@@ -1,0 +1,54 @@
+"""Run histories and summary reporting for the optimisation drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EpochRecord", "RunHistory"]
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's metrics at a single rank (ranks agree on the model)."""
+
+    epoch: int
+    loss: float
+    accuracy: float
+    grad_nnz_mean: float = 0.0
+    bytes_sent: int = 0
+
+
+@dataclass
+class RunHistory:
+    """Accumulated per-epoch records plus final model."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+    params: np.ndarray | None = None
+
+    def add(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def final_loss(self) -> float:
+        return self.records[-1].loss if self.records else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.records[-1].accuracy if self.records else float("nan")
+
+    @property
+    def losses(self) -> list[float]:
+        return [r.loss for r in self.records]
+
+    @property
+    def accuracies(self) -> list[float]:
+        return [r.accuracy for r in self.records]
+
+    def epochs_to_loss(self, target: float) -> int | None:
+        """First epoch whose loss is <= target (None if never reached)."""
+        for r in self.records:
+            if r.loss <= target:
+                return r.epoch
+        return None

@@ -1,0 +1,128 @@
+"""Distributed random block coordinate descent (SCD, §8.2).
+
+Follows the distributed random-block scheme the paper attributes to
+Wright [55]: the coordinate space is partitioned across ranks; per
+iteration every rank
+
+1. samples a random block of ``block_size`` coordinates from *its* slice,
+2. computes the partial gradient of those coordinates on its local samples,
+3. takes a coordinate step, and
+4. shares the updates with a **sparse allgather** — the per-rank updates
+   live in disjoint coordinate slices, so the "reduction" is concatenation
+   (the paper's §8.2 SCD experiment: "we compare the runtime of a sparse
+   allgather from SparCML to its dense counterpart": 49s -> 26s per epoch).
+
+The dense baseline gathers a full-length vector per rank instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..collectives.allgather import allgather_blocks, sparse_allgather
+from ..collectives.dense import partition_bounds
+from ..runtime.comm import Communicator
+from ..streams import SparseStream
+from .datasets import SparseDataset, partition_rows
+from .linear import LinearModel
+from .metrics import EpochRecord, RunHistory
+
+__all__ = ["SCDConfig", "distributed_scd"]
+
+
+@dataclass
+class SCDConfig:
+    """SCD hyper-parameters: the paper uses 100 coordinates per node."""
+
+    epochs: int = 2
+    iterations_per_epoch: int = 50
+    block_size: int = 100
+    lr: float = 0.5
+    mode: str = "sparse"  # "sparse" allgather vs "dense" allgather
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sparse", "dense"):
+            raise ValueError(f"mode must be 'sparse' or 'dense', got {self.mode!r}")
+
+
+def distributed_scd(
+    comm: Communicator,
+    dataset: SparseDataset,
+    model: LinearModel,
+    config: SCDConfig,
+) -> RunHistory:
+    """Run distributed block coordinate descent at one rank."""
+    shard = partition_rows(dataset.n_samples, comm.size, comm.rank)
+    X_local: sp.csc_matrix = dataset.X[shard].tocsc()
+    y_local = dataset.y[shard]
+    n_local = X_local.shape[0]
+
+    bounds = partition_bounds(model.n_features, comm.size)
+    my_lo, my_hi = int(bounds[comm.rank]), int(bounds[comm.rank + 1])
+    if my_hi <= my_lo:
+        raise ValueError(f"rank {comm.rank} owns an empty coordinate slice")
+
+    rng = np.random.default_rng(config.seed * 99991 + comm.rank)
+    w = np.zeros(model.n_features, dtype=np.float64)
+    history = RunHistory()
+
+    for epoch in range(config.epochs):
+        bytes_before = _bytes_sent(comm)
+        for _ in range(config.iterations_per_epoch):
+            block = rng.choice(
+                np.arange(my_lo, my_hi),
+                size=min(config.block_size, my_hi - my_lo),
+                replace=False,
+            )
+            block.sort()
+            comm.mark("compute")
+            # partial derivative of the chosen coordinates on local samples
+            scores = X_local @ w
+            dloss = model._dloss_dscore(y_local * scores, y_local)  # noqa: SLF001
+            sub = X_local[:, block]
+            comm.compute(int(sub.nnz) * 16 + w.nbytes, "coord_grad")
+            grad_block = np.asarray(sub.T @ dloss).ravel() / max(n_local, 1)
+            grad_block += model.reg * w[block]
+            delta = (-config.lr * grad_block).astype(np.float32)
+
+            if config.mode == "sparse":
+                update = SparseStream(
+                    model.n_features,
+                    indices=block.astype(np.uint32),
+                    values=delta,
+                    value_dtype=np.float32,
+                    copy=False,
+                )
+                merged = sparse_allgather(comm, update)
+                comm.mark("compute")
+                comm.compute(merged.nnz * 12, "apply")
+                idx = merged.indices.astype(np.int64)
+                w[idx] += merged.values.astype(np.float64)
+            else:
+                dense_update = np.zeros(model.n_features, dtype=np.float32)
+                dense_update[block] = delta
+                pieces = allgather_blocks(comm, dense_update)
+                comm.mark("compute")
+                comm.compute(sum(p.nbytes for p in pieces), "apply")
+                for piece in pieces:
+                    w += piece.astype(np.float64)
+        history.add(
+            EpochRecord(
+                epoch=epoch,
+                loss=model.loss(w, dataset.X, dataset.y),
+                accuracy=model.accuracy(w, dataset.X, dataset.y),
+                grad_nnz_mean=float(config.block_size),
+                bytes_sent=_bytes_sent(comm) - bytes_before,
+            )
+        )
+    history.params = w
+    return history
+
+
+def _bytes_sent(comm: Communicator) -> int:
+    world = getattr(comm, "world", None)
+    return world.trace.bytes_sent_by(comm.rank) if world is not None else 0

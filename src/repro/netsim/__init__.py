@@ -1,0 +1,16 @@
+"""Network timing simulation: alpha-beta model + trace replay."""
+
+from .model import ARIES, GIGE, IB_FDR, PRESETS, NetworkModel
+from .replay import ReplayDeadlockError, ReplayResult, overlap_step_time, replay
+
+__all__ = [
+    "NetworkModel",
+    "ARIES",
+    "IB_FDR",
+    "GIGE",
+    "PRESETS",
+    "ReplayResult",
+    "ReplayDeadlockError",
+    "replay",
+    "overlap_step_time",
+]

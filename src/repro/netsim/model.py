@@ -1,0 +1,88 @@
+"""Alpha-beta network cost models and machine presets.
+
+The paper analyses every algorithm in the classic latency-bandwidth model:
+sending a message of ``L`` bytes costs ``T(L) = alpha + beta * L`` (§5.2).
+We adopt the same model for *timing replay* of executed message traces, with
+two standard refinements (LogGP-flavoured):
+
+* the sender pays the ``alpha`` term as an injection overhead per message —
+  this reproduces the paper's ``(P-1) * alpha`` accounting for the direct
+  send fan-out of the split phase;
+* local reduction work is charged at ``gamma`` seconds per byte touched
+  (dense sums are memory-bound; sparse merges touch index+value pairs).
+
+Presets model the three network classes of the evaluation: a Cray
+Aries-class supercomputer interconnect (Piz Daint), InfiniBand FDR, and
+Gigabit Ethernet (the "cloud" setting). Values are class-representative,
+not measurements of the authors' testbed; the benches compare *shapes*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NetworkModel", "ARIES", "IB_FDR", "GIGE", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost parameters for trace replay.
+
+    Attributes
+    ----------
+    name:
+        Preset label used in reports.
+    alpha:
+        Per-message latency in seconds (also charged as sender injection).
+    beta:
+        Seconds per byte of message payload (inverse bandwidth).
+    gamma:
+        Seconds per byte of local reduction/compute work.
+    """
+
+    name: str
+    alpha: float
+    beta: float
+    gamma: float = 2.0e-10
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError("network model parameters must be non-negative")
+
+    # ------------------------------------------------------------------
+    def message_time(self, nbytes: int) -> float:
+        """``T(L) = alpha + beta * L`` — one point-to-point message."""
+        return self.alpha + self.beta * nbytes
+
+    def compute_time(self, nbytes: int) -> float:
+        """Local work time for ``nbytes`` of memory traffic."""
+        return self.gamma * nbytes
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Link bandwidth implied by beta, in gigabytes per second."""
+        if self.beta == 0:
+            return float("inf")
+        return 1.0 / self.beta / 1e9
+
+    def with_(self, **kwargs: float) -> "NetworkModel":
+        """A copy with some parameters replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: alpha={self.alpha * 1e6:.2f}us, "
+            f"bw={self.bandwidth_gbps:.2f} GB/s, gamma={self.gamma * 1e9:.2f} ns/B"
+        )
+
+
+#: Cray Aries class (Piz Daint-like): ~1.5 us latency, ~10 GB/s per node.
+ARIES = NetworkModel(name="aries", alpha=1.5e-6, beta=1.0e-10, gamma=2.0e-10)
+
+#: InfiniBand FDR class (Greina IB): ~2 us latency, ~6.8 GB/s.
+IB_FDR = NetworkModel(name="ib_fdr", alpha=2.0e-6, beta=1.47e-10, gamma=2.0e-10)
+
+#: Gigabit Ethernet class (cloud): ~50 us latency, ~118 MB/s.
+GIGE = NetworkModel(name="gige", alpha=5.0e-5, beta=8.5e-9, gamma=2.0e-10)
+
+PRESETS: dict[str, NetworkModel] = {m.name: m for m in (ARIES, IB_FDR, GIGE)}

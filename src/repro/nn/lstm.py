@@ -1,0 +1,180 @@
+"""LSTM sequence classifier with full BPTT (the recurrent workloads).
+
+Stands in for the paper's encoder LSTMs (ATIS/Hansards, Fig. 4b; the ASR
+attention model, §8.4). One LSTM layer over the token sequence, softmax
+classification from the final hidden state. Gate order in the fused
+weight matrices is (input, forget, output, candidate).
+
+Exposes the same flat-parameter interface as
+:class:`~repro.nn.network.Sequential`, so the data-parallel trainers and
+TopK SGD drive both identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import softmax_cross_entropy
+
+__all__ = ["LSTMClassifier"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class LSTMClassifier:
+    """Embedding -> LSTM -> Dense softmax classifier."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        hidden_dim: int,
+        n_classes: int,
+        rng: np.random.Generator,
+        dtype=np.float64,
+    ) -> None:
+        if min(vocab_size, embed_dim, hidden_dim, n_classes) < 1:
+            raise ValueError("all LSTM dimensions must be positive")
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.n_classes = n_classes
+        d, h = embed_dim, hidden_dim
+        self.E = (rng.standard_normal((vocab_size, d)) * 0.1).astype(dtype)
+        self.Wx = (rng.standard_normal((d, 4 * h)) / np.sqrt(d)).astype(dtype)
+        self.Wh = (rng.standard_normal((h, 4 * h)) / np.sqrt(h)).astype(dtype)
+        self.b = np.zeros(4 * h, dtype=dtype)
+        self.b[h: 2 * h] = 1.0  # forget-gate bias init
+        self.Wo = (rng.standard_normal((h, n_classes)) / np.sqrt(h)).astype(dtype)
+        self.bo = np.zeros(n_classes, dtype=dtype)
+        self.params = [self.E, self.Wx, self.Wh, self.b, self.Wo, self.bo]
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray, train: bool = True) -> np.ndarray:
+        """Logits for integer token batches of shape (batch, seq_len)."""
+        if tokens.ndim != 2:
+            raise ValueError(f"expected (batch, seq_len) tokens, got {tokens.shape}")
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.vocab_size):
+            raise IndexError("token id out of vocabulary range")
+        B, T = tokens.shape
+        h_dim = self.hidden_dim
+        h = np.zeros((B, h_dim), dtype=self.E.dtype)
+        c = np.zeros((B, h_dim), dtype=self.E.dtype)
+        steps = []
+        for t in range(T):
+            x_t = self.E[tokens[:, t]]
+            z = x_t @ self.Wx + h @ self.Wh + self.b
+            i = _sigmoid(z[:, :h_dim])
+            f = _sigmoid(z[:, h_dim: 2 * h_dim])
+            o = _sigmoid(z[:, 2 * h_dim: 3 * h_dim])
+            g = np.tanh(z[:, 3 * h_dim:])
+            c_new = f * c + i * g
+            tc = np.tanh(c_new)
+            h_new = o * tc
+            if train:
+                steps.append((tokens[:, t], x_t, h, c, i, f, o, g, tc))
+            h, c = h_new, c_new
+        logits = h @ self.Wo + self.bo
+        if train:
+            self._cache = {"steps": steps, "h_final": h}
+        return logits
+
+    # ------------------------------------------------------------------
+    def loss_and_grad(self, tokens: np.ndarray, y: np.ndarray) -> float:
+        """Mean CE loss; gradients accumulate into ``self.grads``."""
+        self.zero_grads()
+        logits = self.forward(tokens, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        cache = self._cache
+        assert cache is not None
+        h_dim = self.hidden_dim
+        dE, dWx, dWh, db, dWo, dbo = self.grads
+
+        h_final = cache["h_final"]
+        dWo += h_final.T @ dlogits
+        dbo += dlogits.sum(axis=0)
+        dh = dlogits @ self.Wo.T
+        dc = np.zeros_like(dh)
+
+        for token_ids, x_t, h_prev, c_prev, i, f, o, g, tc in reversed(cache["steps"]):
+            do = dh * tc
+            dc = dc + dh * o * (1.0 - tc**2)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    do * o * (1.0 - o),
+                    dg * (1.0 - g**2),
+                ],
+                axis=1,
+            )
+            dWx += x_t.T @ dz
+            dWh += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            dx = dz @ self.Wx.T
+            np.add.at(dE, token_ids, dx)
+            dh = dz @ self.Wh.T
+            dc = dc * f
+        return loss
+
+    def zero_grads(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def predict(self, tokens: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(tokens, train=False), axis=1)
+
+    def accuracy(self, tokens: np.ndarray, y: np.ndarray, batch: int = 256) -> float:
+        correct = 0
+        for lo in range(0, tokens.shape[0], batch):
+            correct += int(np.sum(self.predict(tokens[lo: lo + batch]) == y[lo: lo + batch]))
+        return correct / max(tokens.shape[0], 1)
+
+    def loss(self, tokens: np.ndarray, y: np.ndarray, batch: int = 256) -> float:
+        total, count = 0.0, 0
+        for lo in range(0, tokens.shape[0], batch):
+            logits = self.forward(tokens[lo: lo + batch], train=False)
+            l, _ = softmax_cross_entropy(logits, y[lo: lo + batch])
+            total += l * logits.shape[0]
+            count += logits.shape[0]
+        return total / max(count, 1)
+
+    # ------------------------------------------------------------------
+    # flat parameter views (same contract as Sequential)
+    # ------------------------------------------------------------------
+    @property
+    def n_params(self) -> int:
+        return sum(p.size for p in self.params)
+
+    def param_vector(self) -> np.ndarray:
+        return np.concatenate([p.ravel() for p in self.params]).astype(np.float64)
+
+    def grad_vector(self) -> np.ndarray:
+        return np.concatenate([g.ravel() for g in self.grads]).astype(np.float64)
+
+    def set_param_vector(self, vec: np.ndarray) -> None:
+        if vec.shape != (self.n_params,):
+            raise ValueError(f"parameter vector shape {vec.shape} != ({self.n_params},)")
+        offset = 0
+        for p in self.params:
+            p[...] = vec[offset: offset + p.size].reshape(p.shape).astype(p.dtype)
+            offset += p.size
+
+    def batch_grad(self, tokens: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+        loss = self.loss_and_grad(tokens, y)
+        return loss, self.grad_vector()

@@ -1,0 +1,122 @@
+"""Sequential network with softmax cross-entropy and flat parameter views.
+
+The bridge between the NN substrate and the communication library: TopK
+SGD (Algorithm 1) treats the model as one flat vector, so the network
+exposes ``param_vector`` / ``set_param_vector`` / ``grad_vector``. The
+flattening order is deterministic (layer order, then each layer's params),
+which also defines the coordinate space the per-bucket TopK operates on —
+consecutive coordinates belong to the same tensor, exactly like the
+paper's layer-wise buckets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Sequential", "softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean CE loss and gradient wrt logits for integer labels."""
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    eps = np.finfo(probs.dtype).tiny
+    loss = float(-np.mean(np.log(probs[np.arange(n), labels] + eps)))
+    dlogits = probs.copy()
+    dlogits[np.arange(n), labels] -= 1.0
+    return loss, dlogits / n
+
+
+class Sequential:
+    """A stack of layers trained with softmax cross-entropy."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.layers = layers
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x, train=False), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch: int = 512) -> float:
+        correct = 0
+        for lo in range(0, x.shape[0], batch):
+            correct += int(np.sum(self.predict(x[lo: lo + batch]) == y[lo: lo + batch]))
+        return correct / max(x.shape[0], 1)
+
+    def loss(self, x: np.ndarray, y: np.ndarray, batch: int = 512) -> float:
+        total, count = 0.0, 0
+        for lo in range(0, x.shape[0], batch):
+            logits = self.forward(x[lo: lo + batch], train=False)
+            l, _ = softmax_cross_entropy(logits, y[lo: lo + batch])
+            total += l * logits.shape[0]
+            count += logits.shape[0]
+        return total / max(count, 1)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Forward + backward on one batch; grads accumulate in the layers."""
+        self.zero_grads()
+        logits = self.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        grad = dlogits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return loss
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # ------------------------------------------------------------------
+    # flat parameter views
+    # ------------------------------------------------------------------
+    @property
+    def n_params(self) -> int:
+        return sum(layer.n_params for layer in self.layers)
+
+    def param_vector(self) -> np.ndarray:
+        """All parameters concatenated into one float64 vector (copy)."""
+        parts = [p.ravel() for layer in self.layers for p in layer.params]
+        if not parts:
+            return np.empty(0)
+        return np.concatenate(parts).astype(np.float64)
+
+    def grad_vector(self) -> np.ndarray:
+        """All gradients concatenated, in the same order (copy)."""
+        parts = [g.ravel() for layer in self.layers for g in layer.grads]
+        if not parts:
+            return np.empty(0)
+        return np.concatenate(parts).astype(np.float64)
+
+    def set_param_vector(self, vec: np.ndarray) -> None:
+        """Scatter a flat vector back into the layers' parameter arrays."""
+        expected = self.n_params
+        if vec.shape != (expected,):
+            raise ValueError(f"parameter vector shape {vec.shape} != ({expected},)")
+        offset = 0
+        for layer in self.layers:
+            for p in layer.params:
+                p[...] = vec[offset: offset + p.size].reshape(p.shape).astype(p.dtype)
+                offset += p.size
+
+    def batch_grad(self, x: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+        """Convenience: loss and flat gradient of one batch."""
+        loss = self.loss_and_grad(x, y)
+        return loss, self.grad_vector()

@@ -1,0 +1,14 @@
+"""Low-precision (QSGD) support (paper §6)."""
+
+from .packing import pack_integers, packed_nbytes, unpack_integers, SUPPORTED_BITS
+from .qsgd import QSGDQuantizer, QuantizedBlock, quantization_variance_bound
+
+__all__ = [
+    "pack_integers",
+    "packed_nbytes",
+    "unpack_integers",
+    "SUPPORTED_BITS",
+    "QSGDQuantizer",
+    "QuantizedBlock",
+    "quantization_variance_bound",
+]

@@ -1,0 +1,189 @@
+"""QSGD stochastic quantization (paper §6, following Alistarh et al. [4]).
+
+Each dense vector is split into buckets of ``B`` consecutive entries (the
+paper uses B on the order of 1024); every bucket is quantized independently:
+the bucket's l2 norm becomes a full-precision scaling factor and each entry
+is stochastically rounded to one of ``s = 2**(bits-1) - 1`` magnitude levels
+plus a sign bit. The rounding is *unbiased* — ``E[Q(v)] = v`` — which is the
+property Theorem 4.1's convergence proof relies on.
+
+The packed result is a :class:`QuantizedBlock`: a uint8 code buffer (sign and
+magnitude packed at ``bits`` per entry) plus one float32 scale per bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_QSGD_BUCKET, STREAM_HEADER_BYTES
+from .packing import pack_integers, unpack_integers
+
+__all__ = ["QuantizedBlock", "QSGDQuantizer", "quantization_variance_bound"]
+
+
+@dataclass(frozen=True)
+class QuantizedBlock:
+    """Wire format of one quantized dense vector.
+
+    Attributes
+    ----------
+    length:
+        Number of encoded scalar entries.
+    bits:
+        Bits per entry (sign + magnitude).
+    bucket_size:
+        Entries per independently-scaled bucket.
+    packed:
+        uint8 buffer of packed codes.
+    scales:
+        float32 per-bucket scaling factors (the bucket l2 norms).
+    value_dtype:
+        dtype the decoder should produce.
+    """
+
+    length: int
+    bits: int
+    bucket_size: int
+    packed: np.ndarray
+    scales: np.ndarray
+    value_dtype: np.dtype
+
+    @property
+    def nbytes_payload(self) -> int:
+        """Wire bytes: header + packed codes + full-precision scales."""
+        return STREAM_HEADER_BYTES + int(self.packed.nbytes) + int(self.scales.nbytes)
+
+    def comm_nbytes(self) -> int:
+        """Protocol hook used by the runtime to charge wire bytes."""
+        return self.nbytes_payload
+
+
+class QSGDQuantizer:
+    """Bucketed stochastic quantizer with ``bits`` ∈ {2, 4, 8}.
+
+    Parameters
+    ----------
+    bits:
+        Total bits per entry; one bit is the sign, the rest encode the
+        magnitude level, so ``s = 2**(bits-1) - 1`` levels.
+    bucket_size:
+        Bucket length ``B``; each bucket gets its own float32 scale.
+    seed:
+        Seed of the private generator used for stochastic rounding.
+    stochastic:
+        When False, round to the nearest level instead (biased; used only
+        for diagnostics/tests).
+    """
+
+    def __init__(
+        self,
+        bits: int = 4,
+        bucket_size: int = DEFAULT_QSGD_BUCKET,
+        seed: int | None = None,
+        stochastic: bool = True,
+    ) -> None:
+        if bits not in (2, 4, 8):
+            raise ValueError(f"bits must be 2, 4 or 8, got {bits}")
+        if bucket_size < 1:
+            raise ValueError(f"bucket_size must be >= 1, got {bucket_size}")
+        self.bits = bits
+        self.bucket_size = bucket_size
+        self.levels = (1 << (bits - 1)) - 1
+        self.stochastic = stochastic
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def quantize(self, vector: np.ndarray) -> QuantizedBlock:
+        """Encode a dense 1-D array into a :class:`QuantizedBlock`."""
+        vec = np.ascontiguousarray(vector)
+        if vec.ndim != 1:
+            raise ValueError(f"expected a 1-D vector, got shape {vec.shape}")
+        n = vec.shape[0]
+        work = vec.astype(np.float64, copy=False)
+        starts = np.arange(0, max(n, 1), self.bucket_size)
+        if n == 0:
+            return QuantizedBlock(
+                0, self.bits, self.bucket_size,
+                np.empty(0, dtype=np.uint8), np.empty(0, dtype=np.float32),
+                np.dtype(vec.dtype),
+            )
+        norms = np.sqrt(np.add.reduceat(work * work, starts))
+        per_entry_norm = np.repeat(norms, _bucket_lengths(n, self.bucket_size))
+        safe = np.where(per_entry_norm > 0, per_entry_norm, 1.0)
+        ratio = np.abs(work) / safe * self.levels
+        if self.stochastic:
+            noise = self._rng.random(n)
+            level = np.floor(ratio + noise)
+        else:
+            level = np.rint(ratio)
+        np.clip(level, 0, self.levels, out=level)
+        level = level.astype(np.uint8)
+        sign = (work < 0).astype(np.uint8)
+        codes = (sign << np.uint8(self.bits - 1)) | level
+        packed = pack_integers(codes, self.bits)
+        return QuantizedBlock(
+            length=n,
+            bits=self.bits,
+            bucket_size=self.bucket_size,
+            packed=packed,
+            scales=norms.astype(np.float32),
+            value_dtype=np.dtype(vec.dtype),
+        )
+
+    def dequantize(self, block: QuantizedBlock) -> np.ndarray:
+        """Decode a :class:`QuantizedBlock` back into a dense array."""
+        n = block.length
+        if n == 0:
+            return np.empty(0, dtype=block.value_dtype)
+        codes = unpack_integers(block.packed, block.bits, n)
+        mag_mask = np.uint8((1 << (block.bits - 1)) - 1)
+        level = (codes & mag_mask).astype(np.float64)
+        sign = np.where(codes >> np.uint8(block.bits - 1) == 1, -1.0, 1.0)
+        s = (1 << (block.bits - 1)) - 1
+        per_entry_norm = np.repeat(
+            block.scales.astype(np.float64), _bucket_lengths(n, block.bucket_size)
+        )
+        out = sign * level / s * per_entry_norm
+        return out.astype(block.value_dtype)
+
+    def roundtrip(self, vector: np.ndarray) -> np.ndarray:
+        """Convenience: ``dequantize(quantize(v))``."""
+        return self.dequantize(self.quantize(vector))
+
+    def compression_ratio(self, n: int, value_itemsize: int = 4) -> float:
+        """Dense bytes divided by quantized bytes for an n-entry vector."""
+        if n == 0:
+            return 1.0
+        from .packing import packed_nbytes
+
+        buckets = (n + self.bucket_size - 1) // self.bucket_size
+        qbytes = packed_nbytes(n, self.bits) + buckets * 4
+        return n * value_itemsize / qbytes
+
+
+def quantization_variance_bound(bits: int, bucket_size: int) -> float:
+    """Upper bound on the relative second-moment blow-up of QSGD.
+
+    From [4]: for s levels and d-dimensional buckets the quantized vector
+    satisfies ``E||Q(v)||^2 <= (1 + min(d/s^2, sqrt(d)/s)) ||v||^2``. The
+    convergence proof (Appendix C) folds this factor into the gradient
+    second-moment constant M.
+    """
+    s = (1 << (bits - 1)) - 1
+    if s <= 0:
+        raise ValueError(f"bits={bits} gives no magnitude levels")
+    d = float(bucket_size)
+    return 1.0 + min(d / (s * s), np.sqrt(d) / s)
+
+
+def _bucket_lengths(n: int, bucket: int) -> np.ndarray:
+    """Lengths of the buckets covering ``n`` entries (last may be short)."""
+    full, rem = divmod(n, bucket)
+    if rem:
+        lengths = np.full(full + 1, bucket, dtype=np.int64)
+        lengths[-1] = rem
+    else:
+        lengths = np.full(max(full, 0), bucket, dtype=np.int64)
+    return lengths

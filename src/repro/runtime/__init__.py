@@ -1,0 +1,37 @@
+"""Message-passing runtime: the library's MPI stand-in."""
+
+from .comm import Communicator, Handle, payload_nbytes, copy_payload, TAG_USER_LIMIT
+from .launcher import ParallelResult, RankError, run_ranks
+from .nonblocking import NonBlockingHandle, i_collective
+from .thread_backend import (
+    CompletedHandle,
+    DeferredRecvHandle,
+    ThreadComm,
+    ThreadWorld,
+    WorldAbortedError,
+)
+from .trace import COMPUTE, MARK, RECV, SEND, Trace, TraceEvent
+
+__all__ = [
+    "Communicator",
+    "Handle",
+    "payload_nbytes",
+    "copy_payload",
+    "TAG_USER_LIMIT",
+    "ParallelResult",
+    "RankError",
+    "run_ranks",
+    "NonBlockingHandle",
+    "i_collective",
+    "CompletedHandle",
+    "DeferredRecvHandle",
+    "ThreadComm",
+    "ThreadWorld",
+    "WorldAbortedError",
+    "Trace",
+    "TraceEvent",
+    "SEND",
+    "RECV",
+    "COMPUTE",
+    "MARK",
+]

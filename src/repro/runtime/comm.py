@@ -1,0 +1,195 @@
+"""Abstract communicator interface (the MPI stand-in).
+
+The collective algorithms in :mod:`repro.collectives` are written against
+this interface only; any backend that provides blocking point-to-point
+``send``/``recv`` with FIFO matching per (source, dest, tag) channel — the
+semantics MPI guarantees — can execute them. The library ships a
+thread-backed implementation (:mod:`repro.runtime.thread_backend`).
+
+Byte accounting
+---------------
+``payload_nbytes`` defines the wire size of every supported payload type:
+objects exposing a ``comm_nbytes()`` protocol method (sparse streams,
+quantized blocks), NumPy arrays, scalars, and (recursively) tuples/lists.
+These sizes feed both the trace (for netsim replay) and the analytic cost
+model, so they must be consistent across the library.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from ..config import STREAM_HEADER_BYTES
+
+__all__ = ["Communicator", "payload_nbytes", "copy_payload", "TAG_USER_LIMIT"]
+
+#: user code may use tags in [0, TAG_USER_LIMIT); collectives allocate blocks
+#: above it so that user traffic never collides with internal traffic.
+TAG_USER_LIMIT = 1 << 16
+
+#: number of distinct tags reserved for a single collective invocation.
+COLLECTIVE_TAG_BLOCK = 64
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size in bytes of a message payload.
+
+    Mirrors a compact binary serialization: numpy arrays cost their buffer
+    plus a small header, structured payloads cost the sum of their parts,
+    scalars cost one word. Objects may override via ``comm_nbytes()``.
+    """
+    if obj is None:
+        return 0
+    hook = getattr(obj, "comm_nbytes", None)
+    if callable(hook):
+        return int(hook())
+    if isinstance(obj, np.ndarray):
+        return STREAM_HEADER_BYTES + int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, str):
+        return 8 + len(obj.encode())
+    if isinstance(obj, bytes):
+        return 8 + len(obj)
+    if isinstance(obj, (tuple, list)):
+        return 8 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    raise TypeError(f"cannot measure wire size of payload type {type(obj).__name__}")
+
+
+def copy_payload(obj: Any) -> Any:
+    """Deep-enough copy of a payload so sender and receiver never alias.
+
+    The thread backend shares one address space; MPI semantics give the
+    receiver an independent buffer, so sends copy by default.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes, np.integer, np.floating)):
+        return obj
+    copier = getattr(obj, "copy", None)
+    if isinstance(obj, (tuple, list)):
+        return type(obj)(copy_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: copy_payload(v) for k, v in obj.items()}
+    if callable(copier):
+        return copier()
+    # frozen dataclass payloads (QuantizedBlock) are treated as immutable
+    return obj
+
+
+class Communicator(abc.ABC):
+    """A group of ``size`` ranks with point-to-point messaging.
+
+    Concrete backends must implement :meth:`send` and :meth:`recv`; the
+    remaining operations have default implementations in terms of those.
+    """
+
+    rank: int
+    size: int
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send of ``obj`` to rank ``dest``."""
+
+    @abc.abstractmethod
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of the next message from ``source`` on ``tag``."""
+
+    @abc.abstractmethod
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Handle":
+        """Non-blocking send; returns a completion handle."""
+
+    @abc.abstractmethod
+    def irecv(self, source: int, tag: int = 0) -> "Handle":
+        """Non-blocking receive; ``wait()`` yields the payload."""
+
+    @abc.abstractmethod
+    def compute(self, nbytes: int, label: str = "") -> None:
+        """Charge ``nbytes`` of local memory-bound work to the trace."""
+
+    @abc.abstractmethod
+    def next_collective_tag(self) -> int:
+        """Allocate a tag block for one collective invocation.
+
+        All ranks call collectives in the same order (the MPI contract), so
+        per-communicator counters stay in sync without communication.
+        """
+
+    # ------------------------------------------------------------------
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Simultaneous exchange with ``peer`` (both directions overlap)."""
+        req = self.isend(obj, peer, tag)
+        incoming = self.recv(peer, tag)
+        req.wait()
+        return incoming
+
+    def barrier(self, tag: int | None = None) -> None:
+        """Dissemination barrier built from point-to-point messages."""
+        if self.size == 1:
+            return
+        base = self.next_collective_tag() if tag is None else tag
+        distance = 1
+        round_no = 0
+        while distance < self.size:
+            dest = (self.rank + distance) % self.size
+            src = (self.rank - distance) % self.size
+            req = self.isend(0, dest, base + round_no)
+            self.recv(src, base + round_no)
+            req.wait()
+            distance *= 2
+            round_no += 1
+
+    def bcast(self, obj: Any, root: int = 0, tag: int | None = None) -> Any:
+        """Binomial-tree broadcast from ``root`` (MPICH-style MST bcast)."""
+        base = self.next_collective_tag() if tag is None else tag
+        rel = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                src = (self.rank - mask) % self.size
+                obj = self.recv(src, base)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < self.size:
+                dest = (self.rank + mask) % self.size
+                self.send(obj, dest, base)
+            mask >>= 1
+        return obj
+
+    def gather_to_root(self, obj: Any, root: int = 0, tag: int | None = None) -> list[Any] | None:
+        """Flat gather: every rank sends to ``root``; root returns the list."""
+        base = self.next_collective_tag() if tag is None else tag
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, base)
+            return out
+        self.send(obj, root, base)
+        return None
+
+    def mark(self, label: str) -> None:
+        """Insert a phase marker into the trace (zero cost)."""
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(rank={self.rank}, size={self.size})"
+
+
+class Handle(abc.ABC):
+    """Completion handle for non-blocking operations (MPI request analog)."""
+
+    @abc.abstractmethod
+    def wait(self) -> Any:
+        """Block until complete; returns the payload for receive handles."""
+
+    @abc.abstractmethod
+    def test(self) -> bool:
+        """Non-blocking completion probe."""

@@ -1,0 +1,118 @@
+"""Parallel run harness: spawn one thread per rank and collect results.
+
+``run_ranks(fn, nranks)`` is the ``mpiexec`` analog: it builds a
+:class:`~repro.runtime.thread_backend.ThreadWorld`, runs ``fn(comm, ...)`` on
+every rank concurrently, propagates the first exception (aborting blocked
+peers instead of deadlocking) and returns the per-rank results together with
+the recorded trace.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .thread_backend import ThreadWorld, WorldAbortedError
+from .trace import Trace
+
+__all__ = ["run_ranks", "ParallelResult", "RankError"]
+
+
+class RankError(RuntimeError):
+    """Wraps an exception raised inside a rank function."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of one parallel run."""
+
+    results: list[Any]
+    trace: Trace
+    world: ThreadWorld
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.results[rank]
+
+
+def run_ranks(
+    fn: Callable[..., Any],
+    nranks: int,
+    *args: Any,
+    copy_payloads: bool = True,
+    trace: Trace | None = None,
+    timeout: float | None = 300.0,
+    **kwargs: Any,
+) -> ParallelResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` concurrent ranks.
+
+    Parameters
+    ----------
+    fn:
+        The per-rank program. Its first argument is the rank's communicator.
+    nranks:
+        World size ``P``.
+    copy_payloads:
+        Copy messages on send (MPI semantics). Disable only for read-only
+        payload protocols.
+    trace:
+        Optional pre-existing trace to append to (e.g. to accumulate multiple
+        collective invocations into one replayable log).
+    timeout:
+        Per-run watchdog in seconds; ``None`` disables it.
+
+    Returns
+    -------
+    ParallelResult
+        Per-rank return values (indexable by rank) plus the trace.
+
+    Raises
+    ------
+    RankError
+        Re-raises the first rank failure, chained to the original exception.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    world = ThreadWorld(nranks, copy_payloads=copy_payloads, trace=trace)
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = world.comm(rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except WorldAbortedError:
+            pass  # secondary failure: another rank already aborted the world
+        except BaseException as exc:  # noqa: BLE001 - must propagate rank errors
+            with errors_lock:
+                errors.append((rank, exc))
+            world.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}", daemon=True)
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.abort()
+            raise TimeoutError(
+                f"parallel run did not finish within {timeout}s "
+                f"(likely deadlock in {t.name})"
+            )
+
+    if errors:
+        rank, original = min(errors, key=lambda e: e[0])
+        raise RankError(rank, original) from original
+    return ParallelResult(results=results, trace=world.trace, world=world)

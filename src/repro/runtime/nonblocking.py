@@ -1,0 +1,143 @@
+"""Non-blocking collective operations (MPI-3 style, paper §7).
+
+SparCML "allow[s] a thread to trigger a collective operation, such as
+allreduce, in a nonblocking way. This enables the thread to proceed with
+local computations while the operation is performed in the background."
+
+We reproduce exactly that: :func:`i_collective` launches the rank's part of
+a collective on a background progress thread and hands back a handle. The
+caller keeps computing and calls ``wait()`` when it needs the result.
+
+Trace semantics: the background events are buffered and appended to the
+rank's trace at ``wait()`` time, i.e. replay times the collective as if it
+completed at the join point. End-to-end benches model the overlap benefit as
+``max(compute, comm)`` per step (the standard overlap idealisation) — see
+``repro.netsim.replay.overlap_step_time``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .comm import Communicator, Handle
+from .thread_backend import ThreadComm
+from .trace import Trace
+
+__all__ = ["NonBlockingHandle", "i_collective"]
+
+
+class _BufferedComm(Communicator):
+    """Proxy communicator that buffers trace events until joined.
+
+    Point-to-point traffic flows through the real backend immediately (the
+    collective makes real progress in the background); only the *trace*
+    bookkeeping is deferred so the rank's event log stays in program order.
+    """
+
+    def __init__(self, inner: ThreadComm, tag_base: int) -> None:
+        self.inner = inner
+        self.rank = inner.rank
+        self.size = inner.size
+        self.buffer = Trace(inner.size)
+        self._tag_base = tag_base
+        self._tag_counter = 0
+        self._real_trace = inner.world.trace
+
+    def _shift(self, tag: int) -> int:
+        return self._tag_base + tag
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        shifted = self._shift(tag)
+        from .comm import payload_nbytes, copy_payload
+
+        nbytes = payload_nbytes(obj)
+        payload = copy_payload(obj) if self.inner.world.copy_payloads else obj
+        seq = self._real_trace.next_seq(self.rank, dest, shifted)
+        self.buffer.record_send(self.rank, dest, shifted, seq, nbytes)
+        self.inner.world.mailbox(self.rank, dest, shifted).put(payload, nbytes, seq)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        shifted = self._shift(tag)
+        box = self.inner.world.mailbox(source, self.rank, shifted)
+        payload, nbytes, seq = box.get(self.inner.world.aborted)
+        self.buffer.record_recv(self.rank, source, shifted, seq, nbytes)
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Handle:
+        self.send(obj, dest, tag)
+        from .thread_backend import CompletedHandle
+
+        return CompletedHandle()
+
+    def irecv(self, source: int, tag: int = 0) -> Handle:
+        from .thread_backend import DeferredRecvHandle
+
+        # DeferredRecvHandle calls back into self.recv, keeping buffering
+        return DeferredRecvHandle(self, source, tag)  # type: ignore[arg-type]
+
+    def compute(self, nbytes: int, label: str = "") -> None:
+        if nbytes:
+            self.buffer.record_compute(self.rank, nbytes, label)
+
+    def mark(self, label: str) -> None:
+        self.buffer.record_mark(self.rank, label)
+
+    def next_collective_tag(self) -> int:
+        # tags inside the buffered collective live in the shifted space
+        tag = self._tag_counter * 64
+        self._tag_counter += 1
+        return tag
+
+    def flush_into(self, trace: Trace) -> None:
+        """Append the buffered events to the real trace (at join time)."""
+        for event in self.buffer.events(self.rank):
+            trace.record(event)
+
+
+class NonBlockingHandle(Handle):
+    """Handle of a background collective; ``wait()`` joins and returns."""
+
+    def __init__(self, thread: threading.Thread, comm: _BufferedComm, result_box: list[Any]) -> None:
+        self._thread = thread
+        self._comm = comm
+        self._box = result_box
+        self._joined = False
+
+    def wait(self) -> Any:
+        if not self._joined:
+            self._thread.join()
+            self._comm.flush_into(self._comm.inner.world.trace)
+            self._joined = True
+        if self._box and isinstance(self._box[0], BaseException):
+            raise self._box[0]
+        return self._box[0] if self._box else None
+
+    def test(self) -> bool:
+        return not self._thread.is_alive()
+
+
+def i_collective(
+    comm: ThreadComm,
+    collective: Callable[..., Any],
+    *args: Any,
+    **kwargs: Any,
+) -> NonBlockingHandle:
+    """Launch ``collective(buffered_comm, *args, **kwargs)`` in the background.
+
+    All ranks must call this in the same program order (the usual MPI
+    non-blocking-collective contract) so the shifted tag spaces line up.
+    """
+    tag_base = comm.next_collective_tag() << 8  # disjoint from blocking tags
+    proxy = _BufferedComm(comm, tag_base)
+    box: list[Any] = []
+
+    def work() -> None:
+        try:
+            box.append(collective(proxy, *args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - surfaced at wait()
+            box.append(exc)
+
+    thread = threading.Thread(target=work, name=f"icoll-rank{comm.rank}", daemon=True)
+    thread.start()
+    return NonBlockingHandle(thread, proxy, box)

@@ -1,0 +1,197 @@
+"""Thread-backed communicator: one Python thread per rank, shared mailboxes.
+
+This backend gives the collectives *real* concurrent execution with MPI
+point-to-point semantics:
+
+* messages on one (source, dest, tag) channel are delivered FIFO,
+* ``recv`` blocks until a matching message arrives,
+* payloads are copied on send, so sender and receiver never alias buffers
+  (matching MPI's independent-buffer guarantee),
+* every operation is appended to the run's :class:`~repro.runtime.trace.Trace`
+  for later timing replay.
+
+Failure handling: if any rank raises, the world is flagged as failed and all
+ranks blocked in ``recv`` abort with :class:`WorldAbortedError` instead of
+deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any
+
+from .comm import (
+    COLLECTIVE_TAG_BLOCK,
+    TAG_USER_LIMIT,
+    Communicator,
+    Handle,
+    copy_payload,
+    payload_nbytes,
+)
+from .trace import Trace
+
+__all__ = ["ThreadWorld", "ThreadComm", "WorldAbortedError", "CompletedHandle", "DeferredRecvHandle"]
+
+#: how often blocked receivers poll the failure flag (seconds).
+_ABORT_POLL_S = 0.05
+
+
+class WorldAbortedError(RuntimeError):
+    """Raised in ranks blocked on communication after another rank failed."""
+
+
+class _Mailbox:
+    """FIFO queue for one (source, dest, tag) channel."""
+
+    __slots__ = ("items", "cond")
+
+    def __init__(self) -> None:
+        self.items: deque[tuple[Any, int, int]] = deque()  # (payload, nbytes, seq)
+        self.cond = threading.Condition()
+
+    def put(self, payload: Any, nbytes: int, seq: int) -> None:
+        with self.cond:
+            self.items.append((payload, nbytes, seq))
+            self.cond.notify()
+
+    def get(self, aborted: threading.Event) -> tuple[Any, int, int]:
+        with self.cond:
+            while not self.items:
+                if aborted.is_set():
+                    raise WorldAbortedError("another rank failed; aborting recv")
+                self.cond.wait(timeout=_ABORT_POLL_S)
+            return self.items.popleft()
+
+
+class ThreadWorld:
+    """Shared state of one parallel run: mailboxes, trace, failure flag."""
+
+    def __init__(self, size: int, *, copy_payloads: bool = True, trace: Trace | None = None) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.copy_payloads = copy_payloads
+        self.trace = trace if trace is not None else Trace(size)
+        self.aborted = threading.Event()
+        self._boxes: dict[tuple[int, int, int], _Mailbox] = {}
+        self._boxes_lock = threading.Lock()
+
+    def mailbox(self, src: int, dst: int, tag: int) -> _Mailbox:
+        key = (src, dst, tag)
+        box = self._boxes.get(key)
+        if box is None:
+            with self._boxes_lock:
+                box = self._boxes.setdefault(key, _Mailbox())
+        return box
+
+    def abort(self) -> None:
+        """Flag the world as failed and wake all blocked receivers."""
+        self.aborted.set()
+        with self._boxes_lock:
+            boxes = list(self._boxes.values())
+        for box in boxes:
+            with box.cond:
+                box.cond.notify_all()
+
+    def comm(self, rank: int) -> "ThreadComm":
+        """The communicator handle for one rank."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for world of size {self.size}")
+        return ThreadComm(self, rank)
+
+
+class CompletedHandle(Handle):
+    """Handle of an already-finished operation (buffered sends)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def wait(self) -> Any:
+        return self._value
+
+    def test(self) -> bool:
+        return True
+
+
+class DeferredRecvHandle(Handle):
+    """irecv handle: performs the matching receive at ``wait()`` time."""
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(self, comm: "ThreadComm", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        box = self._comm.world.mailbox(self._source, self._comm.rank, self._tag)
+        with box.cond:
+            return bool(box.items)
+
+
+class ThreadComm(Communicator):
+    """Per-rank communicator bound to a :class:`ThreadWorld`."""
+
+    def __init__(self, world: ThreadWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._collective_counter = 0
+
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest rank {dest} out of range [0, {self.size})")
+        if dest == self.rank:
+            raise ValueError("self-sends are not supported; use local state")
+        nbytes = payload_nbytes(obj)
+        payload = copy_payload(obj) if self.world.copy_payloads else obj
+        seq = self.world.trace.next_seq(self.rank, dest, tag)
+        self.world.trace.record_send(self.rank, dest, tag, seq, nbytes)
+        self.world.mailbox(self.rank, dest, tag).put(payload, nbytes, seq)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source rank {source} out of range [0, {self.size})")
+        if source == self.rank:
+            raise ValueError("self-receives are not supported")
+        box = self.world.mailbox(source, self.rank, tag)
+        payload, nbytes, seq = box.get(self.world.aborted)
+        self.world.trace.record_recv(self.rank, source, tag, seq, nbytes)
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Handle:
+        # buffered semantics: the payload is copied into the mailbox at once,
+        # so the operation is already complete when the handle is returned.
+        self.send(obj, dest, tag)
+        return CompletedHandle()
+
+    def irecv(self, source: int, tag: int = 0) -> Handle:
+        return DeferredRecvHandle(self, source, tag)
+
+    def compute(self, nbytes: int, label: str = "") -> None:
+        if nbytes < 0:
+            raise ValueError(f"compute bytes must be non-negative, got {nbytes}")
+        if nbytes:
+            self.world.trace.record_compute(self.rank, nbytes, label)
+
+    def mark(self, label: str) -> None:
+        self.world.trace.record_mark(self.rank, label)
+
+    def next_collective_tag(self) -> int:
+        tag = TAG_USER_LIMIT + self._collective_counter * COLLECTIVE_TAG_BLOCK
+        self._collective_counter += 1
+        return tag

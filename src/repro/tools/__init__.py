@@ -1,0 +1,13 @@
+"""User-facing experiment tooling: sweeps and the ``python -m repro`` CLI."""
+
+from .cli import build_parser, main
+from .sweeps import ALGORITHM_SET, SweepPoint, sweep_densities, sweep_node_counts
+
+__all__ = [
+    "build_parser",
+    "main",
+    "ALGORITHM_SET",
+    "SweepPoint",
+    "sweep_densities",
+    "sweep_node_counts",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sweep-nodes``     reduction time vs node count (Fig. 3 left shape)
+``sweep-density``   reduction time vs per-node density (Fig. 3 right shape)
+``expected-k``      the App. B fill-in table (Fig. 7)
+``presets``         show the network model presets
+
+All output is plain ASCII tables; every experiment is deterministic given
+``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+
+from ..analysis import expected_union_size
+from ..netsim import PRESETS
+from .sweeps import ALGORITHM_SET, SweepPoint, sweep_densities, sweep_node_counts
+
+__all__ = ["main", "build_parser"]
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _render_points(points: list[SweepPoint], column: str) -> str:
+    """Pivot sweep points into an algorithm x parameter table."""
+    by_algo: dict[str, dict] = defaultdict(dict)
+    keys: list = []
+    for p in points:
+        key = getattr(p, column)
+        if key not in keys:
+            keys.append(key)
+        by_algo[p.algorithm][key] = p
+    header = ["algorithm"] + [
+        f"{column}={k:.3%}" if column == "density" else f"{column}={k}" for k in keys
+    ]
+    rows = []
+    for algo, cells in by_algo.items():
+        rows.append([algo] + [_fmt_time(cells[k].time_s) if k in cells else "-" for k in keys])
+    widths = [max(len(str(r[c])) for r in [header] + rows) for c in range(len(header))]
+    lines = ["  ".join(str(v).ljust(w) for v, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparCML reproduction: sparse-collective micro-experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    nodes = sub.add_parser("sweep-nodes", help="reduction time vs node count")
+    nodes.add_argument("--dimension", type=int, default=1 << 20)
+    nodes.add_argument("--density", type=float, default=0.00781)
+    nodes.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
+    nodes.add_argument("--network", choices=sorted(PRESETS), default="aries")
+    nodes.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
+    nodes.add_argument("--seed", type=int, default=9000)
+
+    dens = sub.add_parser("sweep-density", help="reduction time vs density")
+    dens.add_argument("--dimension", type=int, default=1 << 20)
+    dens.add_argument("--densities", type=float, nargs="+", default=[0.001, 0.01, 0.05, 0.10])
+    dens.add_argument("--nranks", type=int, default=8)
+    dens.add_argument("--network", choices=sorted(PRESETS), default="gige")
+    dens.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
+    dens.add_argument("--seed", type=int, default=9000)
+
+    ek = sub.add_parser("expected-k", help="App. B expected reduced size table")
+    ek.add_argument("--dimension", type=int, default=512)
+    ek.add_argument("--k-values", type=int, nargs="+", default=[1, 4, 16, 64, 128, 256])
+    ek.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16, 32, 64])
+
+    sub.add_parser("presets", help="show network model presets")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "presets":
+        for model in PRESETS.values():
+            print(model.describe())
+        return 0
+
+    if args.command == "expected-k":
+        n = args.dimension
+        header = ["k \\ P"] + [str(p) for p in args.nodes]
+        print("  ".join(h.ljust(8) for h in header))
+        for k in args.k_values:
+            if k > n:
+                print(f"(skipping k={k} > N={n})", file=sys.stderr)
+                continue
+            row = [str(k)] + [f"{expected_union_size(k, n, p):.1f}" for p in args.nodes]
+            print("  ".join(v.ljust(8) for v in row))
+        return 0
+
+    if args.command == "sweep-nodes":
+        points = sweep_node_counts(
+            args.nodes,
+            dimension=args.dimension,
+            density=args.density,
+            network=args.network,
+            algorithms=args.algorithms,
+            seed=args.seed,
+        )
+        print(
+            f"reduction time vs node count (N={args.dimension}, "
+            f"d={args.density:.3%}, {args.network})"
+        )
+        print(_render_points(points, "nranks"))
+        return 0
+
+    if args.command == "sweep-density":
+        points = sweep_densities(
+            args.densities,
+            dimension=args.dimension,
+            nranks=args.nranks,
+            network=args.network,
+            algorithms=args.algorithms,
+            seed=args.seed,
+        )
+        print(
+            f"reduction time vs density (N={args.dimension}, "
+            f"P={args.nranks}, {args.network})"
+        )
+        print(_render_points(points, "density"))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

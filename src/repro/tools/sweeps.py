@@ -1,0 +1,141 @@
+"""Self-contained micro-benchmark sweeps (the Fig. 3 experiments as a
+library facility).
+
+These are the §8.1 synthetic experiments packaged for direct use: run the
+full algorithm set over a grid of node counts or densities, replay under a
+network preset, and return structured rows. The command-line interface
+(``python -m repro``) renders them as tables; the benchmark harness makes
+the same measurements with paper-matched parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    dsar_split_allgather,
+    ssar_recursive_double,
+    ssar_ring,
+    ssar_split_allgather,
+)
+from ..netsim import PRESETS, NetworkModel, replay
+from ..runtime import run_ranks
+from ..streams import SparseStream
+
+__all__ = ["SweepPoint", "sweep_node_counts", "sweep_densities", "ALGORITHM_SET"]
+
+ALGORITHM_SET = {
+    "ssar_rec_dbl": ("sparse", ssar_recursive_double),
+    "ssar_split_ag": ("sparse", ssar_split_allgather),
+    "ssar_ring": ("sparse", ssar_ring),
+    "dsar_split_ag": ("sparse", dsar_split_allgather),
+    "dense_rabenseifner": ("dense", allreduce_rabenseifner),
+    "dense_ring": ("dense", allreduce_ring),
+    "dense_rec_dbl": ("dense", allreduce_recursive_doubling),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (algorithm, parameter) measurement."""
+
+    algorithm: str
+    nranks: int
+    dimension: int
+    nnz: int
+    time_s: float
+    bytes_sent: int
+    messages: int
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.dimension if self.dimension else 0.0
+
+
+def _resolve_model(network: str | NetworkModel) -> NetworkModel:
+    if isinstance(network, NetworkModel):
+        return network
+    if network in PRESETS:
+        return PRESETS[network]
+    raise ValueError(f"unknown network preset {network!r}; choose from {sorted(PRESETS)}")
+
+
+def _measure(name: str, nranks: int, dimension: int, nnz: int, model: NetworkModel, seed: int) -> SweepPoint:
+    kind, algo = ALGORITHM_SET[name]
+
+    def prog(comm):
+        gen = np.random.default_rng(seed + comm.rank)
+        stream = SparseStream.random_uniform(dimension, nnz=nnz, rng=gen)
+        if kind == "dense":
+            return algo(comm, stream.to_dense())
+        return algo(comm, stream)
+
+    out = run_ranks(prog, nranks)
+    timing = replay(out.trace, model)
+    return SweepPoint(
+        algorithm=name,
+        nranks=nranks,
+        dimension=dimension,
+        nnz=nnz,
+        time_s=timing.makespan,
+        bytes_sent=out.trace.total_bytes_sent,
+        messages=out.trace.total_messages,
+    )
+
+
+def sweep_node_counts(
+    node_counts: list[int],
+    dimension: int = 1 << 20,
+    density: float = 0.00781,
+    network: str | NetworkModel = "aries",
+    algorithms: list[str] | None = None,
+    seed: int = 9000,
+) -> list[SweepPoint]:
+    """Reduction time vs node count (the Fig. 3 left sweep).
+
+    Returns one :class:`SweepPoint` per (algorithm, P).
+    """
+    model = _resolve_model(network)
+    algorithms = algorithms or list(ALGORITHM_SET)
+    _validate_algorithms(algorithms)
+    nnz = max(1, int(dimension * density))
+    return [
+        _measure(name, P, dimension, nnz, model, seed)
+        for name in algorithms
+        for P in node_counts
+    ]
+
+
+def sweep_densities(
+    densities: list[float],
+    dimension: int = 1 << 20,
+    nranks: int = 8,
+    network: str | NetworkModel = "gige",
+    algorithms: list[str] | None = None,
+    seed: int = 9000,
+) -> list[SweepPoint]:
+    """Reduction time vs per-node density (the Fig. 3 right sweep)."""
+    model = _resolve_model(network)
+    algorithms = algorithms or list(ALGORITHM_SET)
+    _validate_algorithms(algorithms)
+    points = []
+    for d in densities:
+        if not 0.0 < d <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {d}")
+        nnz = max(1, int(dimension * d))
+        for name in algorithms:
+            points.append(_measure(name, nranks, dimension, nnz, model, seed))
+    return points
+
+
+def _validate_algorithms(algorithms: list[str]) -> None:
+    unknown = set(algorithms) - set(ALGORITHM_SET)
+    if unknown:
+        raise ValueError(
+            f"unknown algorithms {sorted(unknown)}; choose from {sorted(ALGORITHM_SET)}"
+        )

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import SparseStream, reduce_streams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_rank_stream(
+    dimension: int,
+    nnz: int,
+    rank: int,
+    base_seed: int = 7000,
+    value_dtype=np.float32,
+) -> SparseStream:
+    """Deterministic per-rank random stream (same recipe everywhere)."""
+    gen = np.random.default_rng(base_seed + rank)
+    return SparseStream.random_uniform(dimension, nnz=nnz, rng=gen, value_dtype=value_dtype)
+
+
+def reference_sum(dimension: int, nnz: int, nranks: int, base_seed: int = 7000) -> np.ndarray:
+    """Dense reference sum of the per-rank streams."""
+    return reduce_streams(
+        [make_rank_stream(dimension, nnz, r, base_seed) for r in range(nranks)]
+    ).to_dense()

@@ -1,0 +1,148 @@
+"""Tests for the dense allreduce baselines against numpy reference sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    dense_allreduce,
+    partition_bounds,
+)
+from repro.runtime import run_ranks
+
+ALGOS = {
+    "rec_dbl": allreduce_recursive_doubling,
+    "ring": allreduce_ring,
+    "rabenseifner": allreduce_rabenseifner,
+}
+
+
+def make_vec(rank: int, n: int) -> np.ndarray:
+    return np.random.default_rng(31 + rank).standard_normal(n).astype(np.float32)
+
+
+def run_allreduce(algo, nranks: int, n: int):
+    out = run_ranks(lambda comm: algo(comm, make_vec(comm.rank, n)), nranks)
+    ref = np.sum([make_vec(r, n) for r in range(nranks)], axis=0)
+    return out, ref
+
+
+class TestPartitionBounds:
+    def test_even_split(self):
+        assert list(partition_bounds(8, 4)) == [0, 2, 4, 6, 8]
+
+    def test_uneven_split_balanced(self):
+        b = partition_bounds(10, 3)
+        sizes = np.diff(b)
+        assert b[0] == 0 and b[-1] == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        b = partition_bounds(2, 4)
+        assert b[-1] == 2
+        assert np.all(np.diff(b) >= 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_bounds(10, 0)
+        with pytest.raises(ValueError):
+            partition_bounds(-1, 2)
+
+
+@pytest.mark.parametrize("name,algo", ALGOS.items())
+class TestDenseAllreduce:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_power_of_two(self, name, algo, nranks):
+        out, ref = run_allreduce(algo, nranks, 256)
+        for r in range(nranks):
+            assert np.allclose(out[r], ref, atol=1e-3), f"{name} wrong at rank {r}"
+
+    @pytest.mark.parametrize("nranks", [3, 5, 6, 7])
+    def test_non_power_of_two(self, name, algo, nranks):
+        out, ref = run_allreduce(algo, nranks, 128)
+        for r in range(nranks):
+            assert np.allclose(out[r], ref, atol=1e-3)
+
+    def test_odd_vector_length(self, name, algo):
+        out, ref = run_allreduce(algo, 4, 203)
+        for r in range(4):
+            assert np.allclose(out[r], ref, atol=1e-3)
+
+    def test_short_vector(self, name, algo):
+        out, ref = run_allreduce(algo, 4, 5)
+        for r in range(4):
+            assert np.allclose(out[r], ref, atol=1e-4)
+
+    def test_input_not_mutated(self, name, algo):
+        vec_store = {}
+
+        def prog(comm):
+            v = make_vec(comm.rank, 64)
+            vec_store[comm.rank] = v.copy()
+            algo(comm, v)
+            return np.array_equal(v, vec_store[comm.rank])
+
+        out = run_ranks(prog, 4)
+        assert all(out.results)
+
+    def test_float64(self, name, algo):
+        def prog(comm):
+            v = np.random.default_rng(comm.rank).standard_normal(100)
+            return algo(comm, v)
+
+        out = run_ranks(prog, 4)
+        ref = np.sum([np.random.default_rng(r).standard_normal(100) for r in range(4)], axis=0)
+        assert np.allclose(out[0], ref, atol=1e-10)
+
+
+class TestByteVolumes:
+    def test_ring_moves_fewer_bytes_than_rec_dbl(self):
+        """Bandwidth optimality: ring ~ 2N vs rec-dbl ~ N log2 P per rank."""
+        n, P = 8192, 8
+        out_ring, _ = run_allreduce(allreduce_ring, P, n)
+        out_rd, _ = run_allreduce(allreduce_recursive_doubling, P, n)
+        assert out_ring.trace.total_bytes_sent < out_rd.trace.total_bytes_sent
+
+    def test_rabenseifner_matches_ring_bandwidth(self):
+        n, P = 8192, 8
+        out_ring, _ = run_allreduce(allreduce_ring, P, n)
+        out_rab, _ = run_allreduce(allreduce_rabenseifner, P, n)
+        ratio = out_rab.trace.total_bytes_sent / out_ring.trace.total_bytes_sent
+        assert 0.9 < ratio < 1.1
+
+
+class TestApi:
+    def test_dense_allreduce_dispatch(self):
+        def prog(comm):
+            return dense_allreduce(comm, make_vec(comm.rank, 64), algorithm="dense_ring")
+
+        out = run_ranks(prog, 4)
+        ref = np.sum([make_vec(r, 64) for r in range(4)], axis=0)
+        assert np.allclose(out[0], ref, atol=1e-4)
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.runtime import RankError
+
+        def prog(comm):
+            return dense_allreduce(comm, make_vec(comm.rank, 8), algorithm="nope")
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nranks=st.integers(min_value=1, max_value=9),
+    n=st.integers(min_value=1, max_value=300),
+    algo_name=st.sampled_from(sorted(ALGOS)),
+)
+def test_property_dense_allreduce_correct(nranks, n, algo_name):
+    """Any (P, N, algorithm) combination computes the exact sum."""
+    algo = ALGOS[algo_name]
+    out, ref = run_allreduce(algo, nranks, n)
+    for r in range(nranks):
+        assert np.allclose(out[r], ref, atol=1e-3)

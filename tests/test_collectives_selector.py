@@ -1,0 +1,71 @@
+"""Tests for the automatic algorithm selector (§5.3 switching heuristics)."""
+
+import pytest
+
+from repro.collectives import SMALL_MESSAGE_BYTES, choose_algorithm
+from repro.config import delta_threshold
+
+
+class TestChooseAlgorithm:
+    def test_small_sparse_uses_recursive_doubling(self):
+        # tiny reduced payload -> latency bound
+        assert choose_algorithm(1 << 20, 8, 100) == "ssar_rec_dbl"
+
+    def test_large_sparse_uses_split_allgather(self):
+        # large but still below delta after fill-in
+        n = 1 << 24
+        assert choose_algorithm(n, 4, 50_000) == "ssar_split_ag"
+
+    def test_dense_fill_in_uses_dsar(self):
+        # k*P far above delta -> dynamic instance
+        n = 10_000
+        assert choose_algorithm(n, 64, 2_000) == "dsar_split_ag"
+
+    def test_user_expected_k_overrides_model(self):
+        n = 10_000
+        # uniform model would say dense, but the user knows supports overlap
+        algo = choose_algorithm(n, 64, 2_000, expected_k=2_000)
+        assert algo != "dsar_split_ag"
+
+    def test_threshold_boundary(self):
+        n = 1 << 16
+        delta = delta_threshold(n, 4)
+        assert choose_algorithm(n, 2, 10, expected_k=delta + 1) == "dsar_split_ag"
+        small = choose_algorithm(n, 2, 10, expected_k=delta - 1)
+        assert small in ("ssar_rec_dbl", "ssar_split_ag")
+
+    def test_small_message_boundary(self):
+        n = 1 << 24
+        pair_bytes = 8
+        k_small = SMALL_MESSAGE_BYTES // pair_bytes - 1
+        assert choose_algorithm(n, 2, 10, expected_k=k_small) == "ssar_rec_dbl"
+        assert choose_algorithm(n, 2, 10, expected_k=k_small * 4) == "ssar_split_ag"
+
+    def test_single_rank(self):
+        assert choose_algorithm(1000, 1, 10) in (
+            "ssar_rec_dbl",
+            "ssar_split_ag",
+            "dsar_split_ag",
+        )
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            choose_algorithm(1000, 0, 10)
+
+    def test_invalid_nnz(self):
+        with pytest.raises(ValueError):
+            choose_algorithm(1000, 4, 2000)
+
+    def test_never_returns_ring(self):
+        """ssar_ring exists only as an explicit comparison point."""
+        for n, p, k in [(1 << 16, 2, 10), (1 << 20, 32, 5000), (4096, 64, 1000)]:
+            assert choose_algorithm(n, p, k) != "ssar_ring"
+
+    def test_more_ranks_pushes_toward_dsar(self):
+        """Fill-in grows with P (Fig. 1): eventually the instance is dynamic."""
+        n, k = 50_000, 2_500  # 5% per-node density
+        algos = [choose_algorithm(n, p, k) for p in (2, 4, 8, 16, 32, 64)]
+        assert algos[-1] == "dsar_split_ag"
+        # once dynamic, stays dynamic
+        first_dsar = algos.index("dsar_split_ag")
+        assert all(a == "dsar_split_ag" for a in algos[first_dsar:])

@@ -1,0 +1,76 @@
+"""Tests for repro.config: constants and the delta threshold rule."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    INDEX_BYTES,
+    INDEX_DTYPE,
+    SUPPORTED_VALUE_DTYPES,
+    delta_threshold,
+    validate_value_dtype,
+)
+
+
+class TestConstants:
+    def test_index_dtype_is_uint32(self):
+        # §8: "we fix the datatype for storing an index to an unsigned int"
+        assert INDEX_DTYPE == np.dtype(np.uint32)
+
+    def test_index_bytes_matches_dtype(self):
+        assert INDEX_BYTES == 4
+
+    def test_supported_dtypes_are_floats(self):
+        for dt in SUPPORTED_VALUE_DTYPES:
+            assert np.issubdtype(dt, np.floating)
+
+
+class TestDeltaThreshold:
+    def test_float32_paper_formula(self):
+        # delta = N * isize / (c + isize) = N * 4 / 8 = N / 2
+        assert delta_threshold(1000, 4) == 500
+
+    def test_float64(self):
+        # N * 8 / 12 = 2N/3
+        assert delta_threshold(900, 8) == 600
+
+    def test_float16(self):
+        # N * 2 / 6 = N/3
+        assert delta_threshold(900, 2) == 300
+
+    def test_zero_dimension(self):
+        assert delta_threshold(0, 4) == 0
+
+    def test_sparse_never_wins_above_delta(self):
+        n = 10_000
+        delta = delta_threshold(n, 4)
+        dense_bytes = n * 4
+        assert (delta + 1) * (4 + 4) > dense_bytes
+        assert delta * (4 + 4) <= dense_bytes
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            delta_threshold(-1, 4)
+
+    @pytest.mark.parametrize("isize,c", [(0, 4), (4, 0), (-4, 4)])
+    def test_nonpositive_itemsizes_rejected(self, isize, c):
+        with pytest.raises(ValueError):
+            delta_threshold(100, isize, c)
+
+    def test_monotone_in_dimension(self):
+        values = [delta_threshold(n, 4) for n in (0, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestValidateValueDtype:
+    @pytest.mark.parametrize("dt", [np.float16, np.float32, np.float64])
+    def test_accepts_supported(self, dt):
+        assert validate_value_dtype(dt) == np.dtype(dt)
+
+    @pytest.mark.parametrize("dt", [np.int32, np.uint8, np.complex64, bool])
+    def test_rejects_unsupported(self, dt):
+        with pytest.raises(TypeError):
+            validate_value_dtype(dt)
+
+    def test_accepts_dtype_instances(self):
+        assert validate_value_dtype(np.dtype("float32")) == np.dtype(np.float32)

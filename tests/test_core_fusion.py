@@ -1,0 +1,167 @@
+"""Tests for tensor fusion (gradient bucket coalescing, §9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorFeedback, GradientFuser
+from repro.nn import make_lstm, make_mlp
+from repro.runtime import run_ranks
+
+
+class TestBucketLayout:
+    def test_one_bucket_per_tensor_at_zero_threshold(self):
+        fuser = GradientFuser([("a", 10), ("b", 20), ("c", 5)], min_bucket_bytes=0)
+        assert fuser.n_buckets == 3
+        assert [b.size for b in fuser.buckets] == [10, 20, 5]
+
+    def test_all_fused_at_huge_threshold(self):
+        fuser = GradientFuser([("a", 10), ("b", 20)], min_bucket_bytes=1 << 30)
+        assert fuser.n_buckets == 1
+        assert fuser.buckets[0].size == 30
+        assert fuser.buckets[0].tensor_names == ("a", "b")
+
+    def test_threshold_respected(self):
+        # 4-byte elements; 100-byte threshold = 25 elements per bucket
+        fuser = GradientFuser([(f"t{i}", 10) for i in range(10)], min_bucket_bytes=100)
+        for b in fuser.buckets[:-1]:
+            assert b.size * 4 >= 100
+        assert sum(b.size for b in fuser.buckets) == 100
+
+    def test_slices_cover_exactly(self):
+        fuser = GradientFuser([("a", 7), ("b", 13), ("c", 29)], min_bucket_bytes=50)
+        covered = []
+        for s in fuser.slices():
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(49))
+
+    def test_from_network_mlp(self):
+        net = make_mlp(64, 10, hidden=(32,), seed=0)
+        fuser = GradientFuser.from_network(net, min_bucket_bytes=1 << 10)
+        assert fuser.total_size == net.n_params
+
+    def test_from_network_lstm(self):
+        net = make_lstm(32, 4, embed_dim=8, hidden_dim=12, seed=0)
+        fuser = GradientFuser.from_network(net, min_bucket_bytes=1 << 10)
+        assert fuser.total_size == net.n_params
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GradientFuser([])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GradientFuser([("a", -1)])
+
+    def test_make_error_feedback_matches_layout(self):
+        fuser = GradientFuser([("a", 100), ("b", 200)], min_bucket_bytes=0)
+        efs = fuser.make_error_feedback(k=4, bucket_size=64)
+        assert len(efs) == 2
+        assert efs[0].residual.shape == (100,)
+        assert efs[1].residual.shape == (200,)
+
+
+class TestFusedAllreduce:
+    def test_fused_equals_monolithic_sum(self):
+        """Per-bucket TopK allreduce with full k (= everything selected)
+        must equal the dense sum of the gradients."""
+        dim = 256
+        fuser = GradientFuser([("a", 96), ("b", 160)], min_bucket_bytes=0)
+        P = 4
+
+        def grads(rank):
+            return np.random.default_rng(400 + rank).standard_normal(dim).astype(np.float32)
+
+        def prog(comm):
+            # k >= bucket size: selection keeps every coordinate
+            efs = fuser.make_error_feedback(k=1 << 20, bucket_size=None)
+            return fuser.fused_topk_allreduce(
+                comm, grads(comm.rank), efs, algorithm="ssar_rec_dbl"
+            )
+
+        out = run_ranks(prog, P)
+        ref = np.sum([grads(r) for r in range(P)], axis=0)
+        for r in range(P):
+            assert np.allclose(out[r], ref, atol=1e-4)
+
+    def test_fused_topk_respects_per_bucket_error_feedback(self):
+        dim = 128
+        fuser = GradientFuser([("a", 64), ("b", 64)], min_bucket_bytes=0)
+        P = 2
+
+        def prog(comm):
+            efs = fuser.make_error_feedback(k=4, bucket_size=32)
+            grad = np.random.default_rng(comm.rank).standard_normal(dim).astype(np.float32)
+            out1 = fuser.fused_topk_allreduce(comm, grad, efs, algorithm="ssar_rec_dbl")
+            # residuals now hold the unsent mass of each bucket
+            residual_norms = [ef.residual_norm for ef in efs]
+            return out1, residual_norms
+
+        out = run_ranks(prog, P)
+        _, norms = out[0]
+        assert all(n > 0 for n in norms)
+
+    def test_shape_mismatch_rejected(self):
+        fuser = GradientFuser([("a", 10)], min_bucket_bytes=0)
+
+        def prog(comm):
+            efs = fuser.make_error_feedback(k=2)
+            return fuser.fused_topk_allreduce(comm, np.zeros(11, np.float32), efs)
+
+        from repro.runtime import RankError
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+    def test_ef_count_mismatch_rejected(self):
+        fuser = GradientFuser([("a", 10), ("b", 10)], min_bucket_bytes=0)
+
+        def prog(comm):
+            return fuser.fused_topk_allreduce(
+                comm, np.zeros(20, np.float32), [ErrorFeedback(10, 2)]
+            )
+
+        from repro.runtime import RankError
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+    def test_fusion_reduces_message_count(self):
+        """Fewer buckets -> fewer collective invocations -> fewer messages."""
+        dim = 1024
+        sizes = [(f"t{i}", 64) for i in range(16)]
+        P = 4
+
+        def run_with(threshold):
+            fuser = GradientFuser(sizes, min_bucket_bytes=threshold)
+
+            def prog(comm):
+                efs = fuser.make_error_feedback(k=4, bucket_size=64)
+                grad = np.random.default_rng(comm.rank).standard_normal(dim).astype(np.float32)
+                return fuser.fused_topk_allreduce(comm, grad, efs, algorithm="ssar_rec_dbl")
+
+            return run_ranks(prog, P)
+
+        layerwise = run_with(0)  # 16 buckets
+        fused = run_with(1 << 30)  # 1 bucket
+        assert fused.trace.total_messages < layerwise.trace.total_messages
+
+    def test_fused_quantized_payloads_smaller(self):
+        from repro.quant import QSGDQuantizer
+
+        dim = 4096
+        fuser = GradientFuser([("a", dim)], min_bucket_bytes=0)
+        P = 2
+
+        def run_with(quantizer):
+            def prog(comm):
+                efs = fuser.make_error_feedback(k=64, bucket_size=None)
+                grad = np.random.default_rng(comm.rank).standard_normal(dim).astype(np.float32)
+                return fuser.fused_topk_allreduce(
+                    comm, grad, efs, algorithm="ssar_rec_dbl", quantizer=quantizer
+                )
+
+            return run_ranks(prog, P)
+
+        fp = run_with(None)
+        q4 = run_with(QSGDQuantizer(bits=4, bucket_size=512, seed=0))
+        assert q4.trace.total_bytes_sent < fp.trace.total_bytes_sent

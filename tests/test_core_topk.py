@@ -1,0 +1,195 @@
+"""Tests for TopK selection and the error-feedback residual (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ErrorFeedback,
+    quantize_stream_values,
+    topk_bucket_indices,
+    topk_global_indices,
+    topk_stream,
+)
+from repro.quant import QSGDQuantizer
+from repro.streams import SparseStream
+
+
+class TestGlobalTopK:
+    def test_selects_largest_magnitudes(self):
+        v = np.array([1.0, -5.0, 0.5, 3.0, -0.1])
+        idx = topk_global_indices(v, 2)
+        assert set(idx.tolist()) == {1, 3}
+
+    def test_indices_sorted(self, rng):
+        v = rng.standard_normal(100)
+        idx = topk_global_indices(v, 17)
+        assert np.all(np.diff(idx.astype(np.int64)) > 0)
+
+    def test_k_zero(self):
+        assert topk_global_indices(np.ones(5), 0).size == 0
+
+    def test_k_full(self):
+        assert topk_global_indices(np.ones(5), 5).size == 5
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            topk_global_indices(np.ones(5), 6)
+
+    def test_magnitude_threshold_property(self, rng):
+        v = rng.standard_normal(200)
+        idx = topk_global_indices(v, 20)
+        selected_min = np.abs(v[idx.astype(np.int64)]).min()
+        mask = np.ones(200, dtype=bool)
+        mask[idx.astype(np.int64)] = False
+        unselected_max = np.abs(v[mask]).max()
+        assert selected_min >= unselected_max - 1e-12
+
+
+class TestBucketTopK:
+    def test_per_bucket_count(self, rng):
+        v = rng.standard_normal(512 * 4)
+        idx = topk_bucket_indices(v, 8, 512)
+        assert idx.size == 8 * 4
+        buckets = idx.astype(np.int64) // 512
+        assert np.all(np.bincount(buckets, minlength=4) == 8)
+
+    def test_partial_last_bucket(self, rng):
+        v = rng.standard_normal(100)  # one bucket of 64 + tail of 36
+        idx = topk_bucket_indices(v, 4, 64)
+        assert idx.size == 8
+        assert np.sum(idx >= 64) == 4
+
+    def test_tail_shorter_than_k(self, rng):
+        v = rng.standard_normal(66)
+        idx = topk_bucket_indices(v, 4, 64)
+        assert idx.size == 4 + 2
+
+    def test_k_larger_than_bucket_selects_all(self, rng):
+        v = rng.standard_normal(32)
+        idx = topk_bucket_indices(v, 100, 16)
+        assert idx.size == 32
+
+    def test_selects_bucket_maxima(self):
+        v = np.zeros(8)
+        v[1], v[6] = 5.0, -7.0
+        idx = topk_bucket_indices(v, 1, 4)
+        assert set(idx.tolist()) == {1, 6}
+
+    def test_empty_vector(self):
+        assert topk_bucket_indices(np.empty(0), 4, 16).size == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            topk_bucket_indices(np.ones(4), 1, 0)
+        with pytest.raises(ValueError):
+            topk_bucket_indices(np.ones(4), -1, 2)
+
+
+class TestTopKStream:
+    def test_global_mode(self, rng):
+        v = rng.standard_normal(64).astype(np.float32)
+        s = topk_stream(v, 5)
+        assert s.nnz == 5
+        dense = s.to_dense()
+        assert np.allclose(dense[dense != 0], v[s.indices.astype(np.int64)])
+
+    def test_bucket_mode(self, rng):
+        v = rng.standard_normal(128).astype(np.float32)
+        s = topk_stream(v, 2, bucket_size=32)
+        assert s.nnz == 8
+
+
+class TestErrorFeedback:
+    def test_invariant_sent_plus_residual(self, rng):
+        """dense(sent) + residual == accumulator, exactly."""
+        ef = ErrorFeedback(100, k=5, value_dtype=np.float64)
+        for _ in range(5):
+            g = rng.standard_normal(100)
+            acc_expected = ef.residual + g
+            sent = ef.select(g)
+            assert np.allclose(sent.to_dense() + ef.residual, acc_expected, atol=1e-12)
+
+    def test_residual_zero_at_selected(self, rng):
+        ef = ErrorFeedback(50, k=10)
+        sent = ef.select(rng.standard_normal(50).astype(np.float32))
+        assert np.all(ef.residual[sent.indices.astype(np.int64)] == 0.0)
+
+    def test_unselected_mass_carries_over(self):
+        ef = ErrorFeedback(4, k=1, value_dtype=np.float64)
+        ef.select(np.array([1.0, 0.5, 0.0, 0.0]))
+        # index 0 sent, 0.5 retained; next tiny gradient: retained wins
+        sent2 = ef.select(np.array([0.0, 0.0, 0.1, 0.0]))
+        assert sent2.indices[0] == 1
+        assert sent2.values[0] == pytest.approx(0.5)
+
+    def test_bucket_mode(self, rng):
+        ef = ErrorFeedback(128, k=2, bucket_size=32)
+        sent = ef.select(rng.standard_normal(128).astype(np.float32))
+        assert sent.nnz == 8
+
+    def test_reset(self, rng):
+        ef = ErrorFeedback(20, k=2)
+        ef.select(rng.standard_normal(20).astype(np.float32))
+        ef.reset()
+        assert ef.residual_norm == 0.0
+
+    def test_shape_mismatch(self):
+        ef = ErrorFeedback(10, k=1)
+        with pytest.raises(ValueError):
+            ef.select(np.zeros(11, dtype=np.float32))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dim=st.integers(min_value=1, max_value=200),
+        steps=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 2**31),
+    )
+    def test_property_no_gradient_mass_lost(self, dim, steps, seed):
+        """Over any run: sum(sent) + residual == sum(gradients) exactly.
+
+        This is the lossless-accounting property that makes TopK SGD
+        convergent (Appendix C tracks exactly this quantity).
+        """
+        gen = np.random.default_rng(seed)
+        k = int(gen.integers(1, dim + 1))
+        ef = ErrorFeedback(dim, k=k, value_dtype=np.float64)
+        total_grad = np.zeros(dim)
+        total_sent = np.zeros(dim)
+        for _ in range(steps):
+            g = gen.standard_normal(dim)
+            total_grad += g
+            total_sent += ef.select(g).to_dense()
+        assert np.allclose(total_sent + ef.residual, total_grad, atol=1e-9)
+
+
+class TestQuantizeStreamValues:
+    def test_values_quantized_support_unchanged(self, rng):
+        s = SparseStream.random_uniform(1000, nnz=64, rng=rng)
+        q = QSGDQuantizer(bits=8, bucket_size=64, seed=0)
+        out = quantize_stream_values(s, q)
+        assert np.array_equal(out.indices, s.indices)
+        err = np.abs(out.values.astype(np.float64) - s.values)
+        norm = np.linalg.norm(s.values)
+        assert np.all(err <= norm / 127 + 1e-6)
+
+    def test_wire_bytes_annotation(self, rng):
+        s = SparseStream.random_uniform(1 << 16, nnz=512, rng=rng)
+        q = QSGDQuantizer(bits=4, bucket_size=512, seed=0)
+        out = quantize_stream_values(s, q)
+        assert out.value_wire_bytes is not None
+        assert out.nbytes_payload < s.nbytes_payload
+
+    def test_empty_stream(self):
+        q = QSGDQuantizer(bits=4, seed=0)
+        out = quantize_stream_values(SparseStream.zeros(100), q)
+        assert out.nnz == 0
+        assert out.value_wire_bytes == 0.5
+
+    def test_dense_rejected(self):
+        q = QSGDQuantizer(bits=4, seed=0)
+        with pytest.raises(ValueError):
+            quantize_stream_values(
+                SparseStream(4, dense=np.zeros(4, dtype=np.float32)), q
+            )

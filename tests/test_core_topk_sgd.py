@@ -1,0 +1,183 @@
+"""Tests for Algorithm 1 (Quantized TopK SGD) and the dense baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopKSGDConfig, dense_sgd, quantized_topk_sgd
+from repro.runtime import RankError, run_ranks
+
+
+def make_quadratic(dim: int, nranks: int):
+    """A distributed least-squares problem: f(x) = mean_i ||x - c_i||^2 / 2.
+
+    The optimum is the mean of the rank centres; stochastic gradients add
+    seeded noise. Used because convergence is provable and checkable.
+    """
+    centres = [np.random.default_rng(500 + r).standard_normal(dim) * 2 for r in range(nranks)]
+    optimum = np.mean(centres, axis=0)
+
+    def grad_fn_for(rank):
+        noise_rng = np.random.default_rng(900 + rank)
+
+        def grad_fn(params, step):
+            noise = noise_rng.standard_normal(dim) * 0.05
+            return ((params - centres[rank]) / nranks + noise).astype(np.float32)
+
+        return grad_fn
+
+    return grad_fn_for, optimum
+
+
+class TestTopKSGDConvergence:
+    @pytest.mark.parametrize("bits", [None, 4, 8])
+    def test_converges_to_optimum(self, bits):
+        dim, P, steps = 128, 4, 160
+        grad_fn_for, optimum = make_quadratic(dim, P)
+        # Thm 4.1 asks for diminishing step sizes; the decay also shrinks
+        # the stochastic-noise floor the constant-lr iterates would keep.
+        cfg = TopKSGDConfig(k=16, bucket_size=64, lr=0.3, lr_decay=0.02, quantizer_bits=bits)
+
+        def prog(comm):
+            return quantized_topk_sgd(comm, grad_fn_for(comm.rank), dim, steps, cfg)
+
+        out = run_ranks(prog, P)
+        err = np.linalg.norm(out[0].params - optimum) / np.linalg.norm(optimum)
+        assert err < 0.15, f"bits={bits}: err={err}"
+
+    def test_dense_baseline_converges(self):
+        dim, P, steps = 128, 4, 120
+        grad_fn_for, optimum = make_quadratic(dim, P)
+
+        def prog(comm):
+            return dense_sgd(comm, grad_fn_for(comm.rank), dim, steps, lr=0.25)
+
+        out = run_ranks(prog, P)
+        err = np.linalg.norm(out[0].params - optimum) / np.linalg.norm(optimum)
+        assert err < 0.1
+
+    def test_topk_matches_dense_final_point(self):
+        """With error feedback and diminishing steps (Thm 4.1's regime),
+        sparse and dense SGD land near the same point. Constant step sizes
+        would leave TopK a larger noise floor (the EF delay amplifies
+        gradient noise) — that's expected theory, not a bug."""
+        dim, P, steps = 64, 4, 300
+        grad_fn_for, _ = make_quadratic(dim, P)
+        cfg = TopKSGDConfig(k=8, bucket_size=32, lr=0.3, lr_decay=0.01)
+
+        def sparse_prog(comm):
+            return quantized_topk_sgd(comm, grad_fn_for(comm.rank), dim, steps, cfg)
+
+        def dense_prog(comm):
+            return dense_sgd(comm, grad_fn_for(comm.rank), dim, steps, lr=0.3, lr_decay=0.01)
+
+        sp = run_ranks(sparse_prog, P)[0].params
+        dn = run_ranks(dense_prog, P)[0].params
+        assert np.linalg.norm(sp - dn) / np.linalg.norm(dn) < 0.1
+
+
+class TestConsistencyAndAccounting:
+    def test_replicas_stay_identical(self):
+        dim, P = 96, 4
+        grad_fn_for, _ = make_quadratic(dim, P)
+        cfg = TopKSGDConfig(k=8, bucket_size=48, lr=0.2, quantizer_bits=4)
+
+        def prog(comm):
+            return quantized_topk_sgd(comm, grad_fn_for(comm.rank), dim, 30, cfg)
+
+        out = run_ranks(prog, P)
+        for r in range(1, P):
+            assert np.array_equal(out[r].params, out[0].params)
+
+    def test_bytes_per_step_recorded(self):
+        dim, P = 256, 2
+        grad_fn_for, _ = make_quadratic(dim, P)
+        cfg = TopKSGDConfig(k=4, bucket_size=128, lr=0.1)
+
+        def prog(comm):
+            return quantized_topk_sgd(comm, grad_fn_for(comm.rank), dim, 10, cfg)
+
+        out = run_ranks(prog, P)
+        assert len(out[0].bytes_sent_per_step) == 10
+        assert out[0].mean_bytes_per_step > 0
+
+    def test_quantization_shrinks_wire_bytes(self):
+        dim, P = 1 << 14, 2
+        grad_fn_for, _ = make_quadratic(dim, P)
+
+        def prog(comm, bits):
+            cfg = TopKSGDConfig(k=8, bucket_size=512, lr=0.1, quantizer_bits=bits)
+            return quantized_topk_sgd(comm, grad_fn_for(comm.rank), dim, 5, cfg)
+
+        fp = run_ranks(prog, P, None)[0].mean_bytes_per_step
+        q4 = run_ranks(prog, P, 4)[0].mean_bytes_per_step
+        assert q4 < fp
+        # index bytes dominate: 4+4 fp pairs -> 4+0.5ish quantized
+        assert q4 / fp < 0.75
+
+    def test_sparse_sends_far_fewer_bytes_than_dense(self):
+        dim, P = 1 << 14, 2
+        grad_fn_for, _ = make_quadratic(dim, P)
+        cfg = TopKSGDConfig(k=4, bucket_size=512, lr=0.1)
+
+        def sparse_prog(comm):
+            return quantized_topk_sgd(comm, grad_fn_for(comm.rank), dim, 5, cfg)
+
+        def dense_prog(comm):
+            return dense_sgd(comm, grad_fn_for(comm.rank), dim, 5, lr=0.1)
+
+        sp = run_ranks(sparse_prog, P)[0].mean_bytes_per_step
+        dn = run_ranks(dense_prog, P)[0].mean_bytes_per_step
+        assert dn / sp > 20
+
+    def test_eval_history(self):
+        dim, P = 32, 2
+        grad_fn_for, optimum = make_quadratic(dim, P)
+        cfg = TopKSGDConfig(k=8, bucket_size=32, lr=0.3)
+
+        def prog(comm):
+            return quantized_topk_sgd(
+                comm, grad_fn_for(comm.rank), dim, 21, cfg,
+                eval_fn=lambda p: {"dist": float(np.linalg.norm(p - optimum))},
+                eval_every=10,
+            )
+
+        out = run_ranks(prog, P)
+        hist = out[0].history
+        assert [h["step"] for h in hist] == [0, 10, 20]
+        assert hist[-1]["dist"] < hist[0]["dist"]
+
+    def test_lr_schedule(self):
+        cfg = TopKSGDConfig(k=1, lr=1.0, lr_decay=0.5)
+        assert cfg.learning_rate(0) == 1.0
+        assert cfg.learning_rate(2) == pytest.approx(0.5)
+
+    def test_bad_grad_shape_raises(self):
+        cfg = TopKSGDConfig(k=1)
+
+        def prog(comm):
+            return quantized_topk_sgd(comm, lambda p, s: np.zeros(3, np.float32), 5, 1, cfg)
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+    def test_negative_steps_rejected(self):
+        cfg = TopKSGDConfig(k=1)
+
+        def prog(comm):
+            return quantized_topk_sgd(comm, lambda p, s: np.zeros(5, np.float32), 5, -1, cfg)
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+    def test_init_params_used(self):
+        dim, P = 16, 2
+        init = np.full(dim, 7.0, dtype=np.float32)
+        cfg = TopKSGDConfig(k=1, bucket_size=16, lr=0.0)
+
+        def prog(comm):
+            return quantized_topk_sgd(
+                comm, lambda p, s: np.zeros(dim, np.float32), dim, 1, cfg, init_params=init
+            )
+
+        out = run_ranks(prog, P)
+        assert np.allclose(out[0].params, 7.0)

@@ -1,0 +1,173 @@
+"""Tests for the analytic cost bounds: replayed algorithms must land inside
+the paper's lower/upper sandwiches (§5.3, Lemmas 5.1/5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    dsar_split_allgather,
+    ssar_recursive_double,
+    ssar_split_allgather,
+)
+from repro.costmodel import (
+    beta_dense,
+    beta_sparse,
+    dense_rabenseifner_time,
+    dense_rec_dbl_time,
+    dense_ring_time,
+    dsar_split_ag_bounds,
+    latency_rec_dbl,
+    latency_split,
+    lemma_5_1_lower,
+    lemma_5_2_lower,
+    max_dsar_speedup,
+    ssar_rec_dbl_bounds,
+    ssar_split_ag_bounds,
+)
+from repro.netsim import NetworkModel, replay
+from repro.runtime import run_ranks
+from repro.streams import SparseStream
+
+from .conftest import make_rank_stream
+
+#: bounds ignore compute, so replay with gamma = 0
+MODEL = NetworkModel(name="bounds", alpha=1e-6, beta=1e-9, gamma=0.0)
+
+
+def replayed_time(algo, nranks, dim, nnz, seed=7000, **kwargs):
+    out = run_ranks(
+        lambda comm: algo(comm, make_rank_stream(dim, nnz, comm.rank, seed), **kwargs), nranks
+    )
+    return replay(out.trace, MODEL).makespan
+
+
+class TestBasics:
+    def test_beta_ordering(self):
+        # beta_d < beta_s always (§5.2)
+        assert beta_dense(MODEL) < beta_sparse(MODEL)
+
+    def test_latencies(self):
+        assert latency_rec_dbl(8, MODEL) == pytest.approx(3e-6)
+        assert latency_split(8, MODEL) == pytest.approx(7e-6 + 3e-6)
+        assert latency_rec_dbl(1, MODEL) == 0.0
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            latency_rec_dbl(0, MODEL)
+
+    def test_bounds_ordering(self):
+        for P in (2, 4, 16):
+            b = ssar_rec_dbl_bounds(P, 1000, MODEL)
+            assert b.lower <= b.upper
+            b = ssar_split_ag_bounds(P, 1000, MODEL)
+            assert b.lower <= b.upper
+            b = dsar_split_ag_bounds(P, 1000, 1 << 20, MODEL)
+            assert b.lower <= b.upper
+
+    def test_max_dsar_speedup(self):
+        # kappa = 0.5 -> 4x (the paper's example)
+        assert max_dsar_speedup(0.5) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            max_dsar_speedup(0.0)
+
+
+class TestMeasuredWithinBounds:
+    """The replayed runtime of each algorithm must fall inside the paper's
+    sandwich. 10% slack covers stream headers and dict wrappers."""
+
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_ssar_rec_dbl(self, nranks):
+        dim, nnz = 1 << 20, 2000
+        t = replayed_time(ssar_recursive_double, nranks, dim, nnz)
+        b = ssar_rec_dbl_bounds(nranks, nnz, MODEL)
+        assert b.contains(t, slack=1.10), f"t={t}, bounds=({b.lower}, {b.upper})"
+
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_ssar_split_ag(self, nranks):
+        dim, nnz = 1 << 20, 2000
+        t = replayed_time(ssar_split_allgather, nranks, dim, nnz)
+        b = ssar_split_ag_bounds(nranks, nnz, MODEL)
+        assert b.contains(t, slack=1.10), f"t={t}, bounds=({b.lower}, {b.upper})"
+
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_dsar_split_ag(self, nranks):
+        dim, nnz = 1 << 16, 800
+        t = replayed_time(dsar_split_allgather, nranks, dim, nnz)
+        b = dsar_split_ag_bounds(nranks, nnz, dim, MODEL)
+        assert b.contains(t, slack=1.10), f"t={t}, bounds=({b.lower}, {b.upper})"
+
+    def test_full_overlap_reaches_rec_dbl_lower_bound(self):
+        """Fully overlapping supports: intermediate size stays k, so the
+        measured time approaches the lower bound of §5.3.1."""
+        dim, k, P = 1 << 20, 1000, 8
+        idx = np.arange(k, dtype=np.uint32)
+
+        def prog(comm):
+            vals = np.ones(k, dtype=np.float32)
+            return ssar_recursive_double(comm, SparseStream(dim, indices=idx, values=vals))
+
+        out = run_ranks(prog, P)
+        t = replay(out.trace, MODEL).makespan
+        b = ssar_rec_dbl_bounds(P, k, MODEL)
+        assert t <= (b.lower + b.upper) / 2  # near the bottom of the sandwich
+
+    def test_disjoint_supports_near_upper_bound(self):
+        """Disjoint supports: intermediate sizes double every round."""
+        dim, k, P = 1 << 20, 1000, 8
+
+        def prog(comm):
+            idx = np.arange(comm.rank * k, (comm.rank + 1) * k, dtype=np.uint32)
+            return ssar_recursive_double(
+                comm, SparseStream(dim, indices=idx, values=np.ones(k, dtype=np.float32))
+            )
+
+        out = run_ranks(prog, P)
+        t = replay(out.trace, MODEL).makespan
+        b = ssar_rec_dbl_bounds(P, k, MODEL)
+        assert t >= (b.lower + b.upper) / 3  # clearly above the fully-overlapping case
+
+
+class TestLemmas:
+    def test_lemma_5_1_orderings(self):
+        # the no-overlap bound dominates the full-overlap bound for P > 2
+        for P in (4, 8, 32):
+            assert lemma_5_1_lower(P, 1000, MODEL, overlap="none") > lemma_5_1_lower(
+                P, 1000, MODEL, overlap="full"
+            )
+
+    def test_lemma_5_1_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            lemma_5_1_lower(4, 10, MODEL, overlap="partial")
+
+    def test_lemma_5_2_lower_bounds_dsar(self):
+        """Any DSAR execution must replay slower than the Lemma 5.2 bound."""
+        dim, nnz, P = 1 << 16, 2000, 8
+        t = replayed_time(dsar_split_allgather, P, dim, nnz)
+        assert t >= lemma_5_2_lower(P, dim, MODEL) * 0.5  # latency model differs by const
+
+    def test_dsar_speedup_capped(self):
+        """Measured dense/DSAR speedup stays below the 2/kappa cap."""
+        dim, nnz, P = 1 << 16, 2000, 8
+        t_dsar = replayed_time(dsar_split_allgather, P, dim, nnz)
+        t_dense = dense_rabenseifner_time(P, dim, MODEL)
+        kappa = 0.5  # float32: delta = N/2
+        assert t_dense / t_dsar <= max_dsar_speedup(kappa) * 1.2
+
+
+class TestDenseFormulas:
+    def test_p1_is_free(self):
+        assert dense_ring_time(1, 1000, MODEL) == 0.0
+        assert dense_rec_dbl_time(1, 1000, MODEL) == 0.0
+        assert dense_rabenseifner_time(1, 1000, MODEL) == 0.0
+
+    def test_rabenseifner_beats_rec_dbl_for_large_n(self):
+        n, P = 1 << 24, 16
+        assert dense_rabenseifner_time(P, n, MODEL) < dense_rec_dbl_time(P, n, MODEL)
+
+    def test_rec_dbl_beats_ring_for_small_n(self):
+        n, P = 64, 16
+        assert dense_rec_dbl_time(P, n, MODEL) < dense_ring_time(P, n, MODEL)
+
+    def test_monotone_in_dimension(self):
+        times = [dense_ring_time(8, n, MODEL) for n in (1 << 10, 1 << 14, 1 << 18)]
+        assert times == sorted(times)

@@ -1,0 +1,86 @@
+"""Tests for the coordinator (Spark-like) aggregation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import coordinator_allreduce, tree_aggregate
+from repro.netsim import GIGE, replay
+from repro.runtime import RankError, run_ranks
+
+
+def make_vec(rank, n=256):
+    return np.random.default_rng(70 + rank).standard_normal(n).astype(np.float32)
+
+
+class TestTreeAggregate:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7, 8])
+    def test_root_gets_sum(self, nranks):
+        def prog(comm):
+            return tree_aggregate(comm, make_vec(comm.rank), branching=2)
+
+        out = run_ranks(prog, nranks)
+        ref = np.sum([make_vec(r) for r in range(nranks)], axis=0)
+        assert np.allclose(out[0], ref, atol=1e-4)
+        assert all(out[r] is None for r in range(1, nranks))
+
+    @pytest.mark.parametrize("branching", [2, 3, 4])
+    def test_branching_factors(self, branching):
+        def prog(comm):
+            return tree_aggregate(comm, make_vec(comm.rank), branching=branching)
+
+        out = run_ranks(prog, 8)
+        ref = np.sum([make_vec(r) for r in range(8)], axis=0)
+        assert np.allclose(out[0], ref, atol=1e-4)
+
+    def test_nonzero_root(self):
+        def prog(comm):
+            return tree_aggregate(comm, make_vec(comm.rank), root=3)
+
+        out = run_ranks(prog, 8)
+        ref = np.sum([make_vec(r) for r in range(8)], axis=0)
+        assert np.allclose(out[3], ref, atol=1e-4)
+        assert out[0] is None
+
+    def test_invalid_branching(self):
+        def prog(comm):
+            return tree_aggregate(comm, make_vec(comm.rank), branching=1)
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+
+class TestCoordinatorAllreduce:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 6, 8])
+    def test_all_ranks_get_sum(self, nranks):
+        def prog(comm):
+            return coordinator_allreduce(comm, make_vec(comm.rank))
+
+        out = run_ranks(prog, nranks)
+        ref = np.sum([make_vec(r) for r in range(nranks)], axis=0)
+        for r in range(nranks):
+            assert np.allclose(out[r], ref, atol=1e-4)
+
+    def test_slower_than_ring_allreduce(self):
+        """The coordinator bottleneck: replayed time must exceed the
+        bandwidth-optimal ring on the same input."""
+        from repro.collectives import allreduce_ring
+
+        n, P = 1 << 16, 8
+
+        def coord(comm):
+            return coordinator_allreduce(comm, make_vec(comm.rank, n))
+
+        def ring(comm):
+            return allreduce_ring(comm, make_vec(comm.rank, n))
+
+        t_coord = replay(run_ranks(coord, P).trace, GIGE).makespan
+        t_ring = replay(run_ranks(ring, P).trace, GIGE).makespan
+        assert t_coord > t_ring
+
+    def test_phases_marked(self):
+        def prog(comm):
+            return coordinator_allreduce(comm, make_vec(comm.rank))
+
+        out = run_ranks(prog, 4)
+        result = replay(out.trace, GIGE)
+        assert result.phase("tree_aggregate") > 0

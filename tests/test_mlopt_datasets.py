@@ -1,0 +1,152 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mlopt import (
+    TABLE1_SHAPES,
+    make_cifar_like,
+    make_dense_classification,
+    make_imagenet_like,
+    make_sequence_task,
+    make_sparse_classification,
+    make_url_like,
+    make_webspam_like,
+    partition_rows,
+)
+
+
+class TestSparseClassification:
+    def test_shapes(self):
+        ds = make_sparse_classification(200, 5000, 50, seed=1)
+        assert ds.X.shape == (200, 5000)
+        assert ds.y.shape == (200,)
+        assert isinstance(ds.X, sp.csr_matrix)
+
+    def test_labels_are_plus_minus_one(self):
+        ds = make_sparse_classification(100, 1000, 20, seed=2)
+        assert set(np.unique(ds.y)) <= {-1.0, 1.0}
+
+    def test_rows_normalised(self):
+        ds = make_sparse_classification(50, 1000, 30, seed=3)
+        norms = np.sqrt(ds.X.multiply(ds.X).sum(axis=1)).A.ravel()
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_sparsity_near_target(self):
+        ds = make_sparse_classification(200, 20_000, 100, seed=4)
+        # power-law collisions lose some; must stay in the right ballpark
+        assert 30 <= ds.mean_nnz_per_sample <= 110
+
+    def test_deterministic(self):
+        a = make_sparse_classification(50, 500, 10, seed=7)
+        b = make_sparse_classification(50, 500, 10, seed=7)
+        assert (a.X != b.X).nnz == 0
+        assert np.array_equal(a.y, b.y)
+
+    def test_seed_changes_data(self):
+        a = make_sparse_classification(50, 500, 10, seed=7)
+        b = make_sparse_classification(50, 500, 10, seed=8)
+        assert (a.X != b.X).nnz > 0
+
+    def test_mostly_learnable(self):
+        """A least-squares probe on the informative features must separate
+        far better than chance (labels come from a linear ground truth)."""
+        ds = make_sparse_classification(400, 2000, 40, seed=5, label_noise=0.0)
+        w, *_ = sp.linalg.lsqr(ds.X, ds.y)[:1], None, None
+        acc = np.mean(np.sign(ds.X @ w[0]) == ds.y)
+        assert acc > 0.8
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_sparse_classification(0, 100, 5)
+        with pytest.raises(ValueError):
+            make_sparse_classification(10, 100, 0)
+        with pytest.raises(ValueError):
+            make_sparse_classification(10, 100, 101)
+
+    def test_url_like_shape(self):
+        ds = make_url_like(scale=0.001, n_samples=50)
+        assert ds.name == "url-like"
+        assert ds.n_features >= 1000
+        assert ds.n_samples == 50
+
+    def test_webspam_like_shape(self):
+        ds = make_webspam_like(scale=0.0005, n_samples=50)
+        assert ds.name == "webspam-like"
+        assert ds.n_samples == 50
+
+    def test_table1_reference(self):
+        assert TABLE1_SHAPES["url"][2] == 3_231_961
+        assert TABLE1_SHAPES["webspam"][2] == 16_609_143
+
+
+class TestDenseClassification:
+    def test_shapes_and_dtypes(self):
+        ds = make_dense_classification(100, 64, 5, seed=1)
+        assert ds.X.shape == (100, 64)
+        assert ds.X.dtype == np.float32
+        assert ds.n_classes == 5
+        assert ds.y.max() < 5
+
+    def test_cifar_like_defaults(self):
+        ds = make_cifar_like(n_samples=64)
+        assert ds.n_features == 3072
+        assert ds.n_classes == 10
+
+    def test_imagenet_like_defaults(self):
+        ds = make_imagenet_like(n_samples=32)
+        assert ds.n_classes == 100
+
+    def test_separable(self):
+        ds = make_dense_classification(300, 32, 4, seed=2, class_separation=4.0)
+        # nearest-centroid classification on the true blobs must beat chance
+        means = np.stack([ds.X[ds.y == c].mean(axis=0) for c in range(4)])
+        dists = ((ds.X[:, None, :] - means[None]) ** 2).sum(axis=2)
+        acc = np.mean(np.argmin(dists, axis=1) == ds.y)
+        assert acc > 0.8
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            make_dense_classification(10, 8, 1)
+
+
+class TestSequenceTask:
+    def test_shapes(self):
+        ds = make_sequence_task(n_samples=64, seq_len=12, vocab_size=100, n_classes=5)
+        assert ds.tokens.shape == (64, 12)
+        assert ds.n_samples == 64
+        assert ds.seq_len == 12
+        assert ds.tokens.max() < 100
+
+    def test_labels_in_range(self):
+        ds = make_sequence_task(n_samples=64, n_classes=6)
+        assert set(np.unique(ds.y)) <= set(range(6))
+
+    def test_triggers_present(self):
+        """Every sample contains at least one token from the trigger zone."""
+        ds = make_sequence_task(n_samples=64, vocab_size=100)
+        assert np.all((ds.tokens >= 50).sum(axis=1) >= 1)
+
+    def test_deterministic(self):
+        a = make_sequence_task(seed=9)
+        b = make_sequence_task(seed=9)
+        assert np.array_equal(a.tokens, b.tokens)
+
+
+class TestPartitionRows:
+    def test_cover_without_overlap(self):
+        n, P = 103, 4
+        covered = []
+        for r in range(P):
+            s = partition_rows(n, P, r)
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(n))
+
+    def test_balanced(self):
+        sizes = [partition_rows(100, 3, r).stop - partition_rows(100, 3, r).start for r in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            partition_rows(10, 2, 2)

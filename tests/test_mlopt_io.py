@@ -1,0 +1,100 @@
+"""Tests for the on-disk dataset format and rank-sliced loading."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mlopt import (
+    dataset_info,
+    load_dataset,
+    load_shard,
+    make_sparse_classification,
+    save_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def stored_dataset(tmp_path_factory):
+    ds = make_sparse_classification(120, 800, 20, seed=31)
+    path = tmp_path_factory.mktemp("dataset") / "url"
+    save_dataset(path, ds)
+    return path, ds
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, stored_dataset):
+        path, ds = stored_dataset
+        loaded = load_dataset(path)
+        assert (loaded.X != ds.X).nnz == 0
+        assert np.array_equal(loaded.y, ds.y)
+        assert loaded.name == ds.name
+
+    def test_metadata(self, stored_dataset):
+        path, ds = stored_dataset
+        meta = dataset_info(path)
+        assert meta["n_samples"] == ds.n_samples
+        assert meta["n_features"] == ds.n_features
+        assert meta["format"] == "csr-v1"
+
+    def test_bad_format_rejected(self, tmp_path):
+        (tmp_path / "meta.json").write_text('{"format": "unknown"}')
+        with pytest.raises(ValueError, match="format"):
+            dataset_info(tmp_path)
+
+
+class TestSharding:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7])
+    def test_shards_cover_dataset(self, stored_dataset, nranks):
+        path, ds = stored_dataset
+        shards = [load_shard(path, r, nranks) for r in range(nranks)]
+        assert sum(s.n_samples for s in shards) == ds.n_samples
+        reassembled = sp.vstack([s.X for s in shards]).tocsr()
+        assert (reassembled != ds.X).nnz == 0
+        labels = np.concatenate([s.y for s in shards])
+        assert np.array_equal(labels, ds.y)
+
+    def test_shard_rows_match_partition(self, stored_dataset):
+        path, ds = stored_dataset
+        shard = load_shard(path, 1, 4)
+        lo, hi = shard.meta["shard"]
+        assert (shard.X != ds.X[lo:hi]).nnz == 0
+
+    def test_shard_is_materialised_not_memmap(self, stored_dataset):
+        """Shards must own their buffers (safe to mutate/compute on)."""
+        path, _ = stored_dataset
+        shard = load_shard(path, 0, 2)
+        assert isinstance(shard.X.data, np.ndarray)
+        assert not isinstance(shard.X.data, np.memmap)
+        shard.X.data[:] = 0.0  # must not raise
+
+    def test_out_of_range_rank(self, stored_dataset):
+        path, _ = stored_dataset
+        with pytest.raises(ValueError):
+            load_shard(path, 4, 4)
+
+
+class TestDistributedTrainingFromDisk:
+    def test_sgd_from_shards_matches_in_memory(self, stored_dataset):
+        """Training from disk shards == training from the in-memory split."""
+        from repro.mlopt import LogisticRegression, SGDConfig, distributed_sgd
+        from repro.runtime import run_ranks
+
+        path, ds = stored_dataset
+        cfg = SGDConfig(epochs=1, batch_size=20, lr=0.5, mode="sparse")
+
+        def from_memory(comm):
+            return distributed_sgd(comm, ds, LogisticRegression(ds.n_features, 1e-5), cfg)
+
+        # the disk path exercises load_shard per rank; the driver API takes
+        # the full dataset, so emulate by reassembling (the shards are
+        # bit-identical, so results must agree exactly)
+        def from_disk(comm):
+            shards = [load_shard(path, r, comm.size) for r in range(comm.size)]
+            X = sp.vstack([s.X for s in shards]).tocsr()
+            y = np.concatenate([s.y for s in shards])
+            rebuilt = type(ds)(X=X, y=y, name=ds.name)
+            return distributed_sgd(comm, rebuilt, LogisticRegression(ds.n_features, 1e-5), cfg)
+
+        mem = run_ranks(from_memory, 2)
+        disk = run_ranks(from_disk, 2)
+        assert np.allclose(mem[0].params, disk[0].params, atol=1e-12)

@@ -1,0 +1,190 @@
+"""Tests for the alpha-beta timing model and trace replay.
+
+Replay semantics are verified on hand-built traces with exactly computable
+clock values, then cross-checked against the paper's closed-form costs on
+real collective schedules.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    ARIES,
+    GIGE,
+    IB_FDR,
+    NetworkModel,
+    ReplayDeadlockError,
+    overlap_step_time,
+    replay,
+)
+from repro.runtime import Trace, run_ranks
+
+
+def model(alpha=1.0, beta=0.1, gamma=0.0):
+    return NetworkModel(name="test", alpha=alpha, beta=beta, gamma=gamma)
+
+
+class TestNetworkModel:
+    def test_message_time(self):
+        m = model(alpha=2.0, beta=0.5)
+        assert m.message_time(10) == pytest.approx(2.0 + 5.0)
+
+    def test_compute_time(self):
+        assert model(gamma=0.25).compute_time(8) == pytest.approx(2.0)
+
+    def test_bandwidth(self):
+        assert NetworkModel("x", 0.0, 1e-9).bandwidth_gbps == pytest.approx(1.0)
+        assert NetworkModel("x", 0.0, 0.0).bandwidth_gbps == float("inf")
+
+    def test_with_replaces(self):
+        m = ARIES.with_(gamma=0.0)
+        assert m.gamma == 0.0
+        assert m.alpha == ARIES.alpha
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel("bad", alpha=-1.0, beta=0.0)
+
+    def test_preset_ordering(self):
+        # supercomputer < IB < GigE in both latency and per-byte cost
+        assert ARIES.alpha < IB_FDR.alpha < GIGE.alpha
+        assert ARIES.beta < IB_FDR.beta < GIGE.beta
+
+    def test_describe_mentions_name(self):
+        assert "aries" in ARIES.describe()
+
+
+class TestReplayHandBuilt:
+    def test_single_message(self):
+        trace = Trace(2)
+        trace.record_send(0, 1, 0, 0, nbytes=100)
+        trace.record_recv(1, 0, 0, 0, nbytes=100)
+        result = replay(trace, model(alpha=1.0, beta=0.1))
+        # sender: injection alpha -> 1.0; receiver: arrival 1.0 + 10.0
+        assert result.finish_times[0] == pytest.approx(1.0)
+        assert result.finish_times[1] == pytest.approx(11.0)
+        assert result.makespan == pytest.approx(11.0)
+
+    def test_pairwise_exchange_costs_one_round(self):
+        trace = Trace(2)
+        for r in (0, 1):
+            trace.record_send(r, 1 - r, 0, 0, nbytes=50)
+        for r in (0, 1):
+            trace.record_recv(r, 1 - r, 0, 0, nbytes=50)
+        result = replay(trace, model(alpha=1.0, beta=0.1))
+        # both: alpha + beta*L = 1 + 5 = 6 (full overlap of directions)
+        assert result.finish_times == pytest.approx([6.0, 6.0])
+
+    def test_compute_charges_gamma(self):
+        trace = Trace(1)
+        trace.record_compute(0, 1000)
+        result = replay(trace, model(gamma=0.001))
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_fifo_sequencing(self):
+        trace = Trace(2)
+        trace.record_send(0, 1, 0, 0, nbytes=10)
+        trace.record_send(0, 1, 0, 1, nbytes=10)
+        trace.record_recv(1, 0, 0, 0, nbytes=10)
+        trace.record_recv(1, 0, 0, 1, nbytes=10)
+        result = replay(trace, model(alpha=1.0, beta=0.0))
+        # sender clock: 1 then 2; arrivals at 1, 2; receiver max(0,1)=1 then 2
+        assert result.finish_times[0] == pytest.approx(2.0)
+        assert result.finish_times[1] == pytest.approx(2.0)
+
+    def test_receiver_waits_for_late_sender(self):
+        trace = Trace(2)
+        trace.record_compute(0, 1000)  # sender busy first
+        trace.record_send(0, 1, 0, 0, nbytes=0)
+        trace.record_recv(1, 0, 0, 0, nbytes=0)
+        result = replay(trace, model(alpha=1.0, gamma=0.01))
+        assert result.finish_times[1] == pytest.approx(10.0 + 1.0)
+
+    def test_unmatched_recv_is_deadlock(self):
+        trace = Trace(2)
+        trace.record_recv(1, 0, 0, 0, nbytes=10)
+        with pytest.raises(ReplayDeadlockError):
+            replay(trace, model())
+
+    def test_phase_accounting(self):
+        trace = Trace(1)
+        trace.record_mark(0, "phase_a")
+        trace.record_compute(0, 100)
+        trace.record_mark(0, "phase_b")
+        trace.record_compute(0, 300)
+        result = replay(trace, model(gamma=1.0))
+        assert result.phase("phase_a") == pytest.approx(100.0)
+        assert result.phase("phase_b") == pytest.approx(300.0)
+        assert result.phase("missing") == 0.0
+
+    def test_empty_trace(self):
+        result = replay(Trace(3), model())
+        assert result.makespan == 0.0
+        assert result.mean_finish == 0.0
+
+    def test_determinism(self):
+        trace = Trace(2)
+        trace.record_send(0, 1, 0, 0, 10)
+        trace.record_recv(1, 0, 0, 0, 10)
+        r1 = replay(trace, ARIES)
+        r2 = replay(trace, ARIES)
+        assert r1.finish_times == r2.finish_times
+
+
+class TestReplayOnRealSchedules:
+    def test_recursive_doubling_latency_is_log_p(self):
+        """A zero-byte recursive-doubling exchange costs exactly log2(P) rounds."""
+        def prog(comm):
+            base = comm.next_collective_tag()
+            distance, rnd = 1, 0
+            while distance < comm.size:
+                partner = comm.rank ^ distance
+                comm.sendrecv(0, partner, base + rnd)
+                distance *= 2
+                rnd += 1
+
+        for P in (2, 4, 8):
+            out = run_ranks(prog, P)
+            t = replay(out.trace, model(alpha=1.0, beta=0.0))
+            # sendrecv: payload 8 bytes but beta=0 -> alpha per round
+            assert t.makespan == pytest.approx(math.log2(P), abs=1e-9)
+
+    def test_dense_rec_dbl_matches_closed_form(self):
+        from repro.collectives import allreduce_recursive_doubling
+        from repro.costmodel import dense_rec_dbl_time
+
+        N, P = 4096, 8
+        vecs = [np.random.default_rng(r).standard_normal(N).astype(np.float32) for r in range(P)]
+
+        out = run_ranks(lambda c: allreduce_recursive_doubling(c, vecs[c.rank]), P)
+        m = model(alpha=1e-6, beta=1e-9, gamma=0.0)
+        measured = replay(out.trace, m).makespan
+        predicted = dense_rec_dbl_time(P, N, m)
+        # header bytes add a little; must agree within 5%
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_dense_ring_matches_closed_form(self):
+        from repro.collectives import allreduce_ring
+        from repro.costmodel import dense_ring_time
+
+        N, P = 4096, 8
+        vecs = [np.random.default_rng(r).standard_normal(N).astype(np.float32) for r in range(P)]
+        out = run_ranks(lambda c: allreduce_ring(c, vecs[c.rank]), P)
+        m = model(alpha=1e-6, beta=1e-9, gamma=0.0)
+        measured = replay(out.trace, m).makespan
+        predicted = dense_ring_time(P, N, m)
+        assert measured == pytest.approx(predicted, rel=0.10)
+
+
+class TestOverlap:
+    def test_blocking_is_sum(self):
+        assert overlap_step_time(2.0, 3.0, nonblocking=False) == 5.0
+
+    def test_nonblocking_is_max(self):
+        assert overlap_step_time(2.0, 3.0, nonblocking=True) == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_step_time(-1.0, 1.0, True)

@@ -1,0 +1,117 @@
+"""Property-based tests of the replay model's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import NetworkModel, replay
+from repro.runtime import Trace, run_ranks
+from repro.streams import SparseStream
+from repro.collectives import sparse_allreduce
+
+
+def random_trace(nranks: int, nmsgs: int, seed: int) -> Trace:
+    """A random but causally valid trace: sends precede matching recvs."""
+    gen = np.random.default_rng(seed)
+    trace = Trace(nranks)
+    pending: list[tuple[int, int, int, int, int]] = []
+    for _ in range(nmsgs):
+        src = int(gen.integers(0, nranks))
+        dst = int(gen.integers(0, nranks - 1))
+        if dst >= src:
+            dst += 1
+        nbytes = int(gen.integers(0, 10_000))
+        seq = trace.next_seq(src, dst, 0)
+        trace.record_send(src, dst, 0, seq, nbytes)
+        pending.append((src, dst, 0, seq, nbytes))
+    gen.shuffle(pending)  # type: ignore[arg-type]
+    # group by receiver preserving per-channel seq order
+    for dst in range(nranks):
+        inbox = sorted(
+            [p for p in pending if p[1] == dst], key=lambda p: (p[0], p[3])
+        )
+        for src, _, tag, seq, nbytes in inbox:
+            trace.record_recv(dst, src, tag, seq, nbytes)
+    return trace
+
+
+class TestReplayMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nranks=st.integers(2, 6),
+        nmsgs=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    def test_makespan_monotone_in_alpha_and_beta(self, nranks, nmsgs, seed):
+        trace = random_trace(nranks, nmsgs, seed)
+        base = replay(trace, NetworkModel("a", alpha=1e-6, beta=1e-9, gamma=0)).makespan
+        more_alpha = replay(trace, NetworkModel("b", alpha=2e-6, beta=1e-9, gamma=0)).makespan
+        more_beta = replay(trace, NetworkModel("c", alpha=1e-6, beta=2e-9, gamma=0)).makespan
+        assert more_alpha >= base
+        assert more_beta >= base
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nranks=st.integers(2, 5),
+        nmsgs=st.integers(1, 30),
+        seed=st.integers(0, 10_000),
+        scale=st.floats(min_value=1.5, max_value=10.0),
+    )
+    def test_makespan_scales_linearly_with_uniform_scaling(self, nranks, nmsgs, seed, scale):
+        """Scaling alpha, beta, gamma together scales every clock."""
+        trace = random_trace(nranks, nmsgs, seed)
+        m1 = NetworkModel("m1", alpha=1e-6, beta=1e-9, gamma=1e-10)
+        m2 = NetworkModel(
+            "m2", alpha=1e-6 * scale, beta=1e-9 * scale, gamma=1e-10 * scale
+        )
+        t1 = replay(trace, m1).makespan
+        t2 = replay(trace, m2).makespan
+        assert t2 == pytest.approx(t1 * scale, rel=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_replay_idempotent(self, seed):
+        trace = random_trace(4, 20, seed)
+        r1 = replay(trace, NetworkModel("x", alpha=1e-6, beta=1e-9))
+        r2 = replay(trace, NetworkModel("x", alpha=1e-6, beta=1e-9))
+        assert r1.finish_times == r2.finish_times
+
+
+class TestReplayOnCollectives:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nranks=st.sampled_from([2, 4, 8]),
+        nnz=st.integers(1, 300),
+        seed=st.integers(0, 10_000),
+    )
+    def test_more_data_never_faster(self, nranks, nnz, seed):
+        """At fixed P, doubling every rank's payload cannot reduce the
+        replayed time of the same algorithm."""
+        model = NetworkModel("t", alpha=1e-6, beta=1e-9, gamma=0)
+
+        def run(k):
+            def prog(comm):
+                gen = np.random.default_rng(seed + comm.rank)
+                return sparse_allreduce(
+                    comm,
+                    SparseStream.random_uniform(1 << 16, nnz=k, rng=gen),
+                    algorithm="ssar_rec_dbl",
+                )
+
+            return replay(run_ranks(prog, nranks).trace, model).makespan
+
+        assert run(min(2 * nnz, 1 << 16)) >= run(nnz) * 0.999
+
+    def test_bytes_conservation(self):
+        """Total sent == total received in any completed collective."""
+        def prog(comm):
+            gen = np.random.default_rng(comm.rank)
+            return sparse_allreduce(
+                comm, SparseStream.random_uniform(4096, nnz=64, rng=gen), "ssar_split_ag"
+            )
+
+        out = run_ranks(prog, 8)
+        sent = sum(out.trace.bytes_sent_by(r) for r in range(8))
+        received = sum(out.trace.bytes_received_by(r) for r in range(8))
+        assert sent == received

@@ -1,0 +1,178 @@
+"""Tests for QSGD quantization and bit packing (§6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    QSGDQuantizer,
+    pack_integers,
+    packed_nbytes,
+    quantization_variance_bound,
+    unpack_integers,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_roundtrip(self, bits, rng):
+        codes = rng.integers(0, 1 << bits, size=77).astype(np.uint8)
+        packed = pack_integers(codes, bits)
+        assert np.array_equal(unpack_integers(packed, bits, 77), codes)
+
+    @pytest.mark.parametrize("bits,count,expected", [(8, 10, 10), (4, 10, 5), (2, 10, 3), (1, 10, 2)])
+    def test_packed_nbytes(self, bits, count, expected):
+        assert packed_nbytes(count, bits) == expected
+
+    def test_empty(self):
+        assert pack_integers(np.empty(0, np.uint8), 4).size == 0
+        assert unpack_integers(np.empty(0, np.uint8), 4, 0).size == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            pack_integers(np.array([16], np.uint8), 4)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_integers(np.array([1], np.uint8), 3)
+
+    def test_count_larger_than_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_integers(np.zeros(1, np.uint8), 4, 3)
+
+    def test_compression_factor(self):
+        assert packed_nbytes(1024, 4) == 512
+        assert packed_nbytes(1024, 2) == 256
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.sampled_from([1, 2, 4, 8]),
+        seed=st.integers(0, 2**31),
+        n=st.integers(0, 300),
+    )
+    def test_property_roundtrip(self, bits, seed, n):
+        gen = np.random.default_rng(seed)
+        codes = gen.integers(0, 1 << bits, size=n).astype(np.uint8)
+        assert np.array_equal(unpack_integers(pack_integers(codes, bits), bits, n), codes)
+
+
+class TestQSGD:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_roundtrip_error_bounded(self, bits, rng):
+        """Per-entry error <= bucket_norm / levels."""
+        q = QSGDQuantizer(bits=bits, bucket_size=64, seed=0)
+        v = rng.standard_normal(256).astype(np.float32)
+        out = q.roundtrip(v)
+        levels = (1 << (bits - 1)) - 1
+        starts = np.arange(0, 256, 64)
+        norms = np.sqrt(np.add.reduceat((v.astype(np.float64)) ** 2, starts))
+        bound = np.repeat(norms, 64) / levels
+        assert np.all(np.abs(out - v) <= bound * (1 + 1e-5))
+
+    def test_zero_vector(self):
+        q = QSGDQuantizer(bits=4, bucket_size=16, seed=0)
+        out = q.roundtrip(np.zeros(40, dtype=np.float32))
+        assert np.array_equal(out, np.zeros(40, dtype=np.float32))
+
+    def test_empty_vector(self):
+        q = QSGDQuantizer(bits=4, seed=0)
+        block = q.quantize(np.empty(0, dtype=np.float32))
+        assert block.length == 0
+        assert q.dequantize(block).size == 0
+
+    def test_sign_preserved(self, rng):
+        q = QSGDQuantizer(bits=8, bucket_size=32, seed=1)
+        v = rng.standard_normal(128).astype(np.float32)
+        out = q.roundtrip(v)
+        nz = out != 0
+        assert np.all(np.sign(out[nz]) == np.sign(v[nz]))
+
+    def test_unbiasedness(self):
+        """E[Q(v)] ~= v: average many independent quantizations."""
+        v = np.array([0.3, -0.7, 0.05, 0.9, -0.2], dtype=np.float32)
+        trials = 3000
+        acc = np.zeros(5, dtype=np.float64)
+        q = QSGDQuantizer(bits=2, bucket_size=5, seed=99)
+        for _ in range(trials):
+            acc += q.roundtrip(v)
+        mean = acc / trials
+        norm = float(np.linalg.norm(v))
+        # standard error of the level estimate is <= norm/sqrt(trials)
+        assert np.all(np.abs(mean - v) < 4 * norm / np.sqrt(trials))
+
+    def test_deterministic_mode_round_to_nearest(self):
+        q = QSGDQuantizer(bits=8, bucket_size=4, seed=0, stochastic=False)
+        v = np.array([1.0, 0.0, 0.0, 0.0], dtype=np.float32)  # norm = 1
+        out = q.roundtrip(v)
+        assert out[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_last_partial_bucket(self, rng):
+        q = QSGDQuantizer(bits=4, bucket_size=64, seed=0)
+        v = rng.standard_normal(100).astype(np.float32)  # 64 + 36
+        block = q.quantize(v)
+        assert block.scales.shape == (2,)
+        assert q.dequantize(block).shape == (100,)
+
+    def test_wire_bytes_smaller_than_dense(self):
+        q = QSGDQuantizer(bits=4, bucket_size=512, seed=0)
+        v = np.ones(4096, dtype=np.float32)
+        block = q.quantize(v)
+        assert block.nbytes_payload < v.nbytes // 4  # >4x compression
+
+    def test_compression_ratio(self):
+        q = QSGDQuantizer(bits=4, bucket_size=512)
+        # 4-bit + scale overhead: close to 8x for float32
+        assert 7.0 < q.compression_ratio(1 << 16) <= 8.0
+
+    def test_seeded_reproducibility(self, rng):
+        v = rng.standard_normal(64).astype(np.float32)
+        out1 = QSGDQuantizer(bits=4, bucket_size=16, seed=5).roundtrip(v)
+        out2 = QSGDQuantizer(bits=4, bucket_size=16, seed=5).roundtrip(v)
+        assert np.array_equal(out1, out2)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QSGDQuantizer(bits=3)
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            QSGDQuantizer(bits=4, bucket_size=0)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            QSGDQuantizer(bits=4).quantize(np.zeros((2, 2), dtype=np.float32))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits=st.sampled_from([2, 4, 8]),
+        bucket=st.sampled_from([8, 64, 512]),
+        seed=st.integers(0, 2**31),
+        n=st.integers(1, 600),
+    )
+    def test_property_error_within_qsgd_bound(self, bits, bucket, seed, n):
+        gen = np.random.default_rng(seed)
+        v = (gen.standard_normal(n) * gen.exponential(1.0)).astype(np.float32)
+        q = QSGDQuantizer(bits=bits, bucket_size=bucket, seed=seed)
+        out = q.roundtrip(v)
+        levels = (1 << (bits - 1)) - 1
+        starts = np.arange(0, n, bucket)
+        norms = np.sqrt(np.add.reduceat(v.astype(np.float64) ** 2, starts))
+        lengths = np.diff(np.append(starts, n))
+        bound = np.repeat(norms, lengths) / levels
+        assert np.all(np.abs(out.astype(np.float64) - v) <= bound + 1e-6)
+
+
+class TestVarianceBound:
+    def test_matches_qsgd_paper_form(self):
+        # s=7 (4 bits), d=512: 1 + min(512/49, sqrt(512)/7)
+        expected = 1 + min(512 / 49, np.sqrt(512) / 7)
+        assert quantization_variance_bound(4, 512) == pytest.approx(expected)
+
+    def test_more_bits_less_variance(self):
+        assert quantization_variance_bound(8, 512) < quantization_variance_bound(4, 512)
+        assert quantization_variance_bound(4, 512) < quantization_variance_bound(2, 512)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantization_variance_bound(1, 512)

@@ -1,0 +1,181 @@
+"""Tests for arbitrary reduction operations over sparse streams (§5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import dense_allreduce, sparse_allreduce
+from repro.runtime import RankError, run_ranks
+from repro.streams import (
+    MAX,
+    MIN,
+    PROD,
+    REDUCE_OPS,
+    SUM,
+    ReduceOp,
+    SparseStream,
+    add_streams,
+    reduce_streams,
+)
+
+
+def nonneg_stream(dim, nnz, seed):
+    gen = np.random.default_rng(seed)
+    idx = gen.choice(dim, size=nnz, replace=False)
+    vals = np.abs(gen.standard_normal(nnz)).astype(np.float32) + 0.01
+    return SparseStream(dim, indices=idx, values=vals)
+
+
+class TestReduceOp:
+    def test_registry(self):
+        assert set(REDUCE_OPS) == {"sum", "max", "min", "prod"}
+
+    def test_neutral_elements(self):
+        assert SUM.neutral == 0.0
+        assert MAX.neutral == 0.0
+        assert MIN.neutral == 0.0
+        assert PROD.neutral == 1.0
+
+    def test_combine(self):
+        a, b = np.array([1.0, 5.0]), np.array([3.0, 2.0])
+        assert np.array_equal(MAX.combine(a, b), [3.0, 5.0])
+        assert np.array_equal(MIN.combine(a, b), [1.0, 2.0])
+
+    def test_custom_op(self):
+        op = ReduceOp("absmax", np.maximum, 0.0)
+        assert op.name == "absmax"
+        assert str(op) == "absmax"
+
+
+class TestStreamReductionWithOps:
+    @pytest.mark.parametrize("op", [SUM, MAX])
+    def test_matches_dense_reference(self, op):
+        a = nonneg_stream(200, 30, 1)
+        b = nonneg_stream(200, 30, 2)
+        out = add_streams(a, b, op)
+        ref = op.ufunc(a.to_dense(op.neutral), b.to_dense(op.neutral))
+        assert np.allclose(out.to_dense(op.neutral), ref, atol=1e-6)
+
+    def test_max_keeps_larger_on_overlap(self):
+        a = SparseStream(10, indices=[3], values=[2.0])
+        b = SparseStream(10, indices=[3], values=[5.0])
+        out = add_streams(a, b, MAX)
+        assert out.to_dense()[3] == pytest.approx(5.0)
+
+    def test_min_on_nonpositive_data(self):
+        a = SparseStream(10, indices=[1, 3], values=[-2.0, -1.0])
+        b = SparseStream(10, indices=[3, 5], values=[-4.0, -3.0])
+        out = add_streams(a, b, MIN)
+        dense = out.to_dense()
+        assert dense[3] == pytest.approx(-4.0)
+        assert dense[1] == pytest.approx(-2.0)
+        assert dense[5] == pytest.approx(-3.0)
+
+    def test_densify_switch_uses_neutral_fill(self):
+        # dim 16 -> delta 8; force the switch with MAX over negatives plus
+        # check the missing coordinates hold the neutral element (0)
+        a = nonneg_stream(16, 5, 3)
+        b = nonneg_stream(16, 5, 4)
+        out = add_streams(a, b, MAX)
+        assert out.is_dense
+        ref = np.maximum(a.to_dense(), b.to_dense())
+        assert np.allclose(out.to_dense(), ref, atol=1e-6)
+
+    def test_reduce_streams_with_op(self):
+        streams = [nonneg_stream(100, 20, 10 + i) for i in range(5)]
+        ref = np.max([s.to_dense() for s in streams], axis=0)
+        out = reduce_streams(streams, MAX)
+        assert np.allclose(out.to_dense(), ref, atol=1e-6)
+
+    def test_to_dense_fill(self):
+        s = SparseStream(4, indices=[1], values=[3.0])
+        assert np.array_equal(s.to_dense(fill=1.0), [1.0, 3.0, 1.0, 1.0])
+
+
+class TestCollectivesWithOps:
+    @pytest.mark.parametrize("algorithm", ["ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "dsar_split_ag"])
+    @pytest.mark.parametrize("op_name", ["max", "sum"])
+    def test_sparse_allreduce_ops(self, algorithm, op_name):
+        P, dim, nnz = 4, 1024, 40
+        op = REDUCE_OPS[op_name]
+
+        def prog(comm):
+            return sparse_allreduce(
+                comm, nonneg_stream(dim, nnz, 100 + comm.rank), algorithm=algorithm, op=op_name
+            )
+
+        out = run_ranks(prog, P)
+        ref = reduce_streams([nonneg_stream(dim, nnz, 100 + r) for r in range(P)], op)
+        for r in range(P):
+            assert np.allclose(
+                out[r].to_dense(op.neutral), ref.to_dense(op.neutral), atol=1e-5
+            ), f"{algorithm}/{op_name} wrong at rank {r}"
+
+    @pytest.mark.parametrize("algorithm", ["dense_rec_dbl", "dense_ring", "dense_rabenseifner"])
+    def test_dense_allreduce_max(self, algorithm):
+        P = 4
+
+        def prog(comm):
+            vec = np.random.default_rng(50 + comm.rank).standard_normal(128).astype(np.float32)
+            return dense_allreduce(comm, vec, algorithm=algorithm, op="max")
+
+        out = run_ranks(prog, P)
+        ref = np.max(
+            [np.random.default_rng(50 + r).standard_normal(128).astype(np.float32) for r in range(P)],
+            axis=0,
+        )
+        for r in range(P):
+            assert np.allclose(out[r], ref, atol=1e-6)
+
+    def test_non_power_of_two_with_max(self):
+        def prog(comm):
+            return sparse_allreduce(
+                comm, nonneg_stream(512, 30, 200 + comm.rank), algorithm="ssar_rec_dbl", op="max"
+            )
+
+        out = run_ranks(prog, 5)
+        ref = reduce_streams([nonneg_stream(512, 30, 200 + r) for r in range(5)], MAX)
+        assert np.allclose(out[0].to_dense(), ref.to_dense(), atol=1e-6)
+
+    def test_unknown_op_rejected(self):
+        def prog(comm):
+            return sparse_allreduce(comm, nonneg_stream(64, 4, 0), op="median")
+
+        with pytest.raises(RankError):
+            run_ranks(prog, 2)
+
+    def test_custom_op_object_accepted(self):
+        op = ReduceOp("max2", np.maximum, 0.0)
+
+        def prog(comm):
+            return sparse_allreduce(
+                comm, nonneg_stream(256, 16, 300 + comm.rank), algorithm="ssar_rec_dbl", op=op
+            )
+
+        out = run_ranks(prog, 4)
+        ref = reduce_streams([nonneg_stream(256, 16, 300 + r) for r in range(4)], MAX)
+        assert np.allclose(out[0].to_dense(), ref.to_dense(), atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dim=st.integers(min_value=4, max_value=400),
+    nranks=st.integers(min_value=1, max_value=6),
+    seed=st.integers(0, 10_000),
+    op_name=st.sampled_from(["sum", "max"]),
+)
+def test_property_collective_ops_match_fold(dim, nranks, seed, op_name):
+    """Any shape: the collective equals a left fold with the same op."""
+    op = REDUCE_OPS[op_name]
+    gen = np.random.default_rng(seed)
+    nnz = int(gen.integers(0, dim + 1))
+
+    def prog(comm):
+        return sparse_allreduce(
+            comm, nonneg_stream(dim, nnz, seed + comm.rank), algorithm="ssar_rec_dbl", op=op_name
+        )
+
+    out = run_ranks(prog, nranks)
+    ref = reduce_streams([nonneg_stream(dim, nnz, seed + r) for r in range(nranks)], op)
+    assert np.allclose(out[0].to_dense(op.neutral), ref.to_dense(op.neutral), atol=1e-4)

@@ -1,0 +1,117 @@
+"""Tests for the sweep tooling and the ``python -m repro`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import ARIES
+from repro.tools import (
+    ALGORITHM_SET,
+    SweepPoint,
+    build_parser,
+    main,
+    sweep_densities,
+    sweep_node_counts,
+)
+
+
+class TestSweeps:
+    def test_node_sweep_structure(self):
+        points = sweep_node_counts(
+            [2, 4], dimension=4096, density=0.01,
+            algorithms=["ssar_rec_dbl", "dense_ring"],
+        )
+        assert len(points) == 4
+        assert {p.algorithm for p in points} == {"ssar_rec_dbl", "dense_ring"}
+        assert {p.nranks for p in points} == {2, 4}
+        assert all(p.time_s > 0 and p.bytes_sent > 0 for p in points)
+
+    def test_density_sweep_structure(self):
+        points = sweep_densities(
+            [0.01, 0.1], dimension=4096, nranks=2, algorithms=["ssar_rec_dbl"]
+        )
+        assert len(points) == 2
+        assert points[0].nnz < points[1].nnz
+        assert points[0].density == pytest.approx(0.01, rel=0.05)
+
+    def test_sparse_wins_in_sweep(self):
+        points = sweep_node_counts(
+            [4], dimension=1 << 16, density=0.005,
+            algorithms=["ssar_rec_dbl", "dense_rabenseifner"], network="aries",
+        )
+        by_algo = {p.algorithm: p for p in points}
+        assert by_algo["ssar_rec_dbl"].time_s < by_algo["dense_rabenseifner"].time_s
+
+    def test_network_model_object_accepted(self):
+        points = sweep_node_counts(
+            [2], dimension=1024, density=0.01,
+            algorithms=["ssar_rec_dbl"], network=ARIES.with_(alpha=1e-3),
+        )
+        assert points[0].time_s >= 1e-3  # dominated by the huge alpha
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithms"):
+            sweep_node_counts([2], dimension=64, algorithms=["nope"])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            sweep_node_counts([2], dimension=64, network="token-ring")
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ValueError, match="density"):
+            sweep_densities([1.5], dimension=64)
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(dimension=2048, density=0.01, algorithms=["ssar_rec_dbl"], seed=7)
+        a = sweep_node_counts([2], **kwargs)
+        b = sweep_node_counts([2], **kwargs)
+        assert a[0].time_s == b[0].time_s
+        assert a[0].bytes_sent == b[0].bytes_sent
+
+    def test_algorithm_set_complete(self):
+        assert set(ALGORITHM_SET) == {
+            "ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "dsar_split_ag",
+            "dense_rabenseifner", "dense_ring", "dense_rec_dbl",
+        }
+
+
+class TestCLI:
+    def test_presets_command(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "aries" in out and "gige" in out
+
+    def test_expected_k_command(self, capsys):
+        assert main(["expected-k", "--nodes", "2", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "k \\ P" in out
+
+    def test_expected_k_skips_oversized_k(self, capsys):
+        assert main(["expected-k", "--dimension", "8", "--k-values", "4", "16"]) == 0
+        err = capsys.readouterr().err
+        assert "skipping" in err
+
+    def test_sweep_nodes_command(self, capsys):
+        code = main([
+            "sweep-nodes", "--dimension", "4096", "--nodes", "2",
+            "--algorithms", "ssar_rec_dbl",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ssar_rec_dbl" in out
+        assert "nranks=2" in out
+
+    def test_sweep_density_command(self, capsys):
+        code = main([
+            "sweep-density", "--dimension", "4096", "--densities", "0.01",
+            "--nranks", "2", "--algorithms", "dense_ring",
+        ])
+        assert code == 0
+        assert "dense_ring" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep-nodes", "--algorithms", "bogus"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
