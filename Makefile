@@ -1,0 +1,23 @@
+# Developer entry points for the SparCML reproduction.
+#
+#   make test         the tier-1 suite (what CI gates on)
+#   make smoke        fast subset: skips tests with "slow" in their name
+#                     and those marked @pytest.mark.slow
+#   make bench-smoke  a quick pass over the cheapest benchmark figures
+#   make bench        every benchmark table/figure (minutes)
+
+PYTHON ?= python
+
+.PHONY: test smoke bench-smoke bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m pytest -x -q -k "not slow" -m "not slow"
+
+bench-smoke:
+	$(PYTHON) -m pytest -q benchmarks/test_fig1_fillin.py benchmarks/test_fig7_expected_k.py benchmarks/test_table1_datasets.py
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/

@@ -16,7 +16,15 @@ because every term of the alpha-beta model scales linearly.
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
+
+# Standalone bootstrap: when a benchmark is executed directly
+# (``python benchmarks/test_xyz.py``) nothing has put ``src/`` on the
+# path yet; pytest runs get it from pyproject's ``pythonpath`` instead.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:  # pragma: no cover - trivial path plumbing
+    sys.path.insert(0, _SRC)
 
 import numpy as np
 

@@ -14,12 +14,13 @@ ill-conditioned quadratic in two regimes:
 
 from __future__ import annotations
 
+from common import fmt_bytes, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 from repro.core import DGCConfig, TopKSGDConfig, dgc_sgd, quantized_topk_sgd
 from repro.runtime import run_ranks
 
-from .common import fmt_bytes, format_table, write_result
 
 DIM = 256
 P = 4

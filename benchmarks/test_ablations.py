@@ -12,6 +12,8 @@
 
 from __future__ import annotations
 
+from common import fmt_bytes, fmt_time, format_table, uniform_stream, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 import repro.streams.stream as stream_mod
@@ -21,7 +23,6 @@ from repro.netsim import ARIES, GIGE, replay
 from repro.quant import QSGDQuantizer
 from repro.runtime import run_ranks
 
-from .common import fmt_bytes, fmt_time, format_table, uniform_stream, write_result
 
 
 # ----------------------------------------------------------------------

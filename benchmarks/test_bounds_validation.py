@@ -9,6 +9,8 @@ approached from the right side.
 
 from __future__ import annotations
 
+from common import format_table, uniform_stream, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 from repro.collectives import (
@@ -25,7 +27,6 @@ from repro.netsim import NetworkModel, replay
 from repro.runtime import run_ranks
 from repro.streams import SparseStream
 
-from .common import format_table, uniform_stream, write_result
 
 MODEL = NetworkModel(name="bounds", alpha=1e-6, beta=1e-9, gamma=0.0)
 GRID = [(2, 500), (4, 500), (8, 500), (16, 500), (8, 5000), (16, 5000)]

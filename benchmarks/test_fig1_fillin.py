@@ -17,6 +17,8 @@ force the dynamic (dense) regime.
 
 from __future__ import annotations
 
+from common import format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 from repro.analysis import empirical_union_density, expected_density_of_sum
@@ -24,7 +26,6 @@ from repro.core import topk_bucket_indices
 from repro.mlopt import make_cifar_like
 from repro.nn import make_cnn_lite
 
-from .common import format_table, write_result
 
 NODE_COUNTS = (2, 4, 8, 16, 32, 64, 128)
 DENSITIES = (0.001, 0.01, 0.05, 0.10)

@@ -10,6 +10,8 @@ and absolute times are much larger on the slow network.
 
 from __future__ import annotations
 
+from common import FULL_SCALE, fmt_time, format_table, uniform_stream, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.collectives import (
     allreduce_rabenseifner,
     allreduce_ring,
@@ -21,7 +23,6 @@ from repro.collectives import (
 from repro.netsim import GIGE, replay
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, fmt_time, format_table, uniform_stream, write_result
 
 N = 1 << 24 if FULL_SCALE else 1 << 20
 P = 8

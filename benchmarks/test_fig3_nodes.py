@@ -14,6 +14,8 @@ only a bounded improvement.
 
 from __future__ import annotations
 
+from common import FULL_SCALE, fmt_time, format_table, uniform_stream, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.collectives import (
     allreduce_rabenseifner,
     allreduce_recursive_doubling,
@@ -26,7 +28,6 @@ from repro.collectives import (
 from repro.netsim import ARIES, replay
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, fmt_time, format_table, uniform_stream, write_result
 
 N = 1 << 24 if FULL_SCALE else 1 << 20
 DENSITY = 0.00781

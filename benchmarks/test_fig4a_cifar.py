@@ -15,12 +15,13 @@ TopK-16+Q4.
 
 from __future__ import annotations
 
+from common import FULL_SCALE, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.core import TopKSGDConfig, dense_sgd, quantized_topk_sgd
 from repro.mlopt import make_cifar_like
 from repro.nn import make_eval_fn, make_grad_fn, make_mlp
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, format_table, write_result
 
 P = 8
 STEPS = 240 if FULL_SCALE else 160

@@ -11,13 +11,14 @@ Our stand-in: LSTM intent classifier on a synthetic trigger-token task.
 
 from __future__ import annotations
 
+from common import FULL_SCALE, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.core import TopKSGDConfig, dense_sgd, quantized_topk_sgd
 from repro.mlopt import make_sequence_task
 from repro.netsim import ARIES, replay
 from repro.nn import make_lstm, make_sequence_eval_fn, make_sequence_grad_fn
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, format_table, write_result
 
 P = 4
 STEPS = 160 if FULL_SCALE else 120

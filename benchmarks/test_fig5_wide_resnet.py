@@ -16,13 +16,14 @@ paper reports for wide models on 64 GPUs.
 
 from __future__ import annotations
 
+from common import FULL_SCALE, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.core import TopKSGDConfig, dense_sgd, quantized_topk_sgd
 from repro.mlopt import make_imagenet_like
 from repro.netsim import ARIES, replay
 from repro.nn import make_eval_fn, make_grad_fn, make_mlp
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, format_table, write_result
 
 P = 8
 STEPS = 200 if FULL_SCALE else 140

@@ -17,6 +17,8 @@ exchanged 4x less often (its defining communication reduction).
 
 from __future__ import annotations
 
+from common import FULL_SCALE, fmt_time, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 from repro.collectives import dense_allreduce, ssar_split_allgather
@@ -24,7 +26,6 @@ from repro.core import ErrorFeedback
 from repro.netsim import IB_FDR, replay
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, fmt_time, format_table, write_result
 
 MODEL_PARAMS = 1 << 22 if FULL_SCALE else 1 << 21
 K, BUCKET = 4, 512

@@ -8,6 +8,8 @@ against Monte-Carlo simulation and the union bound.
 
 from __future__ import annotations
 
+from common import format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 from repro.analysis import (
@@ -16,7 +18,6 @@ from repro.analysis import (
     monte_carlo_union_size,
 )
 
-from .common import format_table, write_result
 
 N = 512
 K_VALUES = (1, 4, 16, 64, 128, 256)

@@ -8,6 +8,8 @@ Summation" cost story and guard against performance regressions.
 
 from __future__ import annotations
 
+import common  # noqa: F401, E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 import pytest
 

@@ -9,11 +9,12 @@ URL-like data and check the two speedup factors have that shape.
 
 from __future__ import annotations
 
+from common import fmt_time, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.mlopt import LogisticRegression, SCDConfig, distributed_scd, make_url_like
 from repro.netsim import ARIES, replay
 from repro.runtime import run_ranks
 
-from .common import fmt_time, format_table, write_result
 
 P = 8
 ITERS = 40

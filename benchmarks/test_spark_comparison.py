@@ -15,6 +15,8 @@ the communication gaps larger than the end-to-end gaps.
 
 from __future__ import annotations
 
+from common import fmt_time, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 import numpy as np
 
 from repro.frameworks import coordinator_allreduce
@@ -23,7 +25,6 @@ from repro.mlopt.datasets import partition_rows
 from repro.netsim import GIGE, replay
 from repro.runtime import run_ranks
 
-from .common import fmt_time, format_table, write_result
 
 P = 8
 EPOCHS = 1

@@ -10,6 +10,8 @@ than absolute dimension.
 
 from __future__ import annotations
 
+from common import format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.mlopt import (
     TABLE1_SHAPES,
     make_cifar_like,
@@ -19,7 +21,6 @@ from repro.mlopt import (
     make_webspam_like,
 )
 
-from .common import format_table, write_result
 
 
 def _run_experiment():

@@ -13,6 +13,8 @@ fast networks, very large (>10x) on GigE — communication dominates there.
 
 from __future__ import annotations
 
+from common import FULL_SCALE, fmt_time, format_table, write_result  # noqa: E402  (path bootstrap: keep before repro imports)
+
 from repro.mlopt import (
     LinearSVM,
     LogisticRegression,
@@ -24,7 +26,6 @@ from repro.mlopt import (
 from repro.netsim import ARIES, GIGE, IB_FDR, replay
 from repro.runtime import run_ranks
 
-from .common import FULL_SCALE, fmt_time, format_table, write_result
 
 EPOCHS = 1
 BATCH = 25

@@ -7,8 +7,18 @@ dense baselines, verify they all compute the identical sum, and compare
 communication volume and replayed time on a supercomputer-class and a
 Gigabit-Ethernet-class network.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--backend thread|process]
+
+``--backend process`` executes every rank in its own OS process with real
+serialized transport over pipes — same algorithms, same results.
 """
+
+import argparse
+import pathlib
+import sys
+
+# standalone bootstrap: make src/repro importable without PYTHONPATH
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
@@ -16,6 +26,7 @@ from repro import (
     ARIES,
     GIGE,
     SparseStream,
+    available_backends,
     dense_allreduce,
     replay,
     run_ranks,
@@ -35,10 +46,19 @@ def make_contribution(rank: int) -> SparseStream:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="thread",
+        help="runtime backend: thread (in-process) or process (one OS process per rank)",
+    )
+    backend = parser.parse_args().backend
+
     reference = reduce_streams([make_contribution(r) for r in range(P)]).to_dense()
 
     print(f"P={P} ranks, N={DIMENSION}, k={NNZ} nonzeros/rank "
-          f"(d={NNZ / DIMENSION:.3%})\n")
+          f"(d={NNZ / DIMENSION:.3%}), backend={backend}\n")
     header = f"{'algorithm':<20}{'correct':<9}{'MB sent':>9}{'aries':>12}{'gige':>12}"
     print(header)
     print("-" * len(header))
@@ -48,7 +68,7 @@ def main() -> None:
         def program(comm, algo=algo):
             return sparse_allreduce(comm, make_contribution(comm.rank), algorithm=algo)
 
-        out = run_ranks(program, P)
+        out = run_ranks(program, P, backend=backend)
         correct = all(np.allclose(out[r].to_dense(), reference, atol=1e-4) for r in range(P))
         t_aries = replay(out.trace, ARIES).makespan
         t_gige = replay(out.trace, GIGE).makespan
@@ -62,7 +82,7 @@ def main() -> None:
         def dense_program(comm, algo=algo):
             return dense_allreduce(comm, make_contribution(comm.rank).to_dense(), algorithm=algo)
 
-        out = run_ranks(dense_program, P)
+        out = run_ranks(dense_program, P, backend=backend)
         correct = all(np.allclose(out[r], reference, atol=1e-4) for r in range(P))
         t_aries = replay(out.trace, ARIES).makespan
         t_gige = replay(out.trace, GIGE).makespan

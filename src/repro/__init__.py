@@ -32,6 +32,7 @@ Quickstart::
 from .collectives import (
     choose_algorithm,
     dense_allreduce,
+    run_sparse_allreduce,
     sparse_allgather,
     sparse_allreduce,
 )
@@ -46,7 +47,7 @@ from .core import (
 )
 from .netsim import ARIES, GIGE, IB_FDR, NetworkModel, replay
 from .quant import QSGDQuantizer, QuantizedBlock
-from .runtime import Trace, i_collective, run_ranks
+from .runtime import Backend, Trace, available_backends, get_backend, i_collective, run_ranks
 from .streams import SparseStream, add_streams, reduce_streams
 
 __version__ = "1.0.0"
@@ -68,7 +69,11 @@ __all__ = [
     "quantized_topk_sgd",
     "dense_sgd",
     "run_ranks",
+    "run_sparse_allreduce",
     "i_collective",
+    "Backend",
+    "get_backend",
+    "available_backends",
     "Trace",
     "NetworkModel",
     "ARIES",

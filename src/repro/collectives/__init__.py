@@ -6,7 +6,7 @@ from .allgather import (
     allgather_ring,
     sparse_allgather,
 )
-from .api import ALGORITHMS, dense_allreduce, sparse_allreduce
+from .api import ALGORITHMS, dense_allreduce, run_sparse_allreduce, sparse_allreduce
 from .dense import (
     DENSE_ALGORITHMS,
     allreduce_rabenseifner,
@@ -26,6 +26,7 @@ __all__ = [
     "ALGORITHMS",
     "dense_allreduce",
     "sparse_allreduce",
+    "run_sparse_allreduce",
     "DENSE_ALGORITHMS",
     "allreduce_rabenseifner",
     "allreduce_recursive_doubling",

@@ -11,7 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..quant import QSGDQuantizer
+from ..runtime.backend import Backend, ParallelResult
 from ..runtime.comm import Communicator
+from ..runtime.launcher import run_ranks
 from ..streams import SparseStream
 from ..streams.ops import REDUCE_OPS, SUM, ReduceOp
 from .allgather import sparse_allgather
@@ -24,7 +26,13 @@ from .dsar import dsar_split_allgather
 from .selector import choose_algorithm
 from .sparse import ssar_recursive_double, ssar_ring, ssar_split_allgather
 
-__all__ = ["sparse_allreduce", "dense_allreduce", "sparse_allgather", "ALGORITHMS"]
+__all__ = [
+    "sparse_allreduce",
+    "dense_allreduce",
+    "sparse_allgather",
+    "run_sparse_allreduce",
+    "ALGORITHMS",
+]
 
 ALGORITHMS = {
     "ssar_rec_dbl": ssar_recursive_double,
@@ -97,6 +105,59 @@ def sparse_allreduce(
     if algorithm == "dsar_split_ag":
         return dsar_split_allgather(comm, stream, quantizer=quantizer, op=reduce_op)
     return ALGORITHMS[algorithm](comm, stream, op=reduce_op)
+
+
+def _allreduce_rank(
+    comm: Communicator,
+    streams: "list[SparseStream]",
+    algorithm: str,
+    quantizer: QSGDQuantizer | None,
+    op: "ReduceOp | str",
+) -> SparseStream:
+    """Module-level rank program for :func:`run_sparse_allreduce`.
+
+    Kept at module scope (not a closure) so it stays picklable: the process
+    backend's spawn fallback on platforms without fork must be able to ship
+    the rank function to the worker processes.
+    """
+    return sparse_allreduce(
+        comm, streams[comm.rank], algorithm=algorithm, quantizer=quantizer, op=op
+    )
+
+
+def run_sparse_allreduce(
+    streams: "list[SparseStream]",
+    algorithm: str = "auto",
+    *,
+    backend: "str | Backend" = "thread",
+    quantizer: QSGDQuantizer | None = None,
+    op: "ReduceOp | str" = SUM,
+    timeout: float | None = 300.0,
+) -> ParallelResult:
+    """One-call driver: allreduce one stream per rank on a chosen backend.
+
+    Spawns ``len(streams)`` ranks on ``backend`` (``"thread"`` or
+    ``"process"``), runs :func:`sparse_allreduce` on each, and returns the
+    :class:`~repro.runtime.ParallelResult` (per-rank reduced streams plus
+    the recorded trace). This is the ``mpiexec``-style entry point the
+    sweeps, examples and cross-backend tests share.
+
+    Note: under the process backend's spawn fallback (platforms without
+    fork) the whole ``streams`` list is pickled into every worker; for
+    very large inputs on such platforms, prefer calling
+    :func:`~repro.runtime.run_ranks` with a rank function that constructs
+    only its own stream.
+    """
+    return run_ranks(
+        _allreduce_rank,
+        len(streams),
+        streams,
+        algorithm,
+        quantizer,
+        op,
+        backend=backend,
+        timeout=timeout,
+    )
 
 
 def dense_allreduce(

@@ -23,7 +23,6 @@ import scipy.sparse as sp
 from ..collectives.api import sparse_allreduce
 from ..runtime.comm import Communicator
 from ..runtime.nonblocking import i_collective
-from ..runtime.thread_backend import ThreadComm
 from .datasets import SparseDataset, partition_rows
 from .linear import LinearModel
 from .metrics import EpochRecord, RunHistory
@@ -33,7 +32,7 @@ __all__ = ["distributed_sgd_async"]
 
 
 def distributed_sgd_async(
-    comm: ThreadComm,
+    comm: Communicator,
     dataset: SparseDataset,
     model: LinearModel,
     config: SGDConfig,

@@ -124,5 +124,4 @@ def distributed_scd(
 
 
 def _bytes_sent(comm: Communicator) -> int:
-    world = getattr(comm, "world", None)
-    return world.trace.bytes_sent_by(comm.rank) if world is not None else 0
+    return comm.trace.bytes_sent_by(comm.rank)

@@ -125,8 +125,5 @@ def distributed_sgd(
 
 
 def comm_bytes_sent(comm: Communicator) -> int:
-    """Bytes this rank has sent so far (0 for backends without traces)."""
-    world = getattr(comm, "world", None)
-    if world is None:
-        return 0
-    return world.trace.bytes_sent_by(comm.rank)
+    """Bytes this rank has sent so far (works on any backend's trace)."""
+    return comm.trace.bytes_sent_by(comm.rank)

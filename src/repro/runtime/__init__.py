@@ -1,15 +1,39 @@
-"""Message-passing runtime: the library's MPI stand-in."""
+"""Message-passing runtime: the library's MPI stand-in.
 
-from .comm import Communicator, Handle, payload_nbytes, copy_payload, TAG_USER_LIMIT
-from .launcher import ParallelResult, RankError, run_ranks
-from .nonblocking import NonBlockingHandle, i_collective
-from .thread_backend import (
+The runtime is split into a backend-neutral core and pluggable backends:
+
+* :mod:`~repro.runtime.comm` — the :class:`Communicator` interface all
+  collectives are written against;
+* :mod:`~repro.runtime.backend` — the :class:`Backend` abstraction and
+  registry (``"thread"`` and ``"process"`` ship built in);
+* :mod:`~repro.runtime.launcher` — :func:`run_ranks`, the ``mpiexec``
+  analog, with a ``backend=`` selector;
+* :mod:`~repro.runtime.trace` / :mod:`~repro.runtime.nonblocking` —
+  event recording and MPI-3-style non-blocking collectives.
+"""
+
+from .backend import (
+    Backend,
+    ParallelResult,
+    RankError,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .comm import (
+    Communicator,
     CompletedHandle,
     DeferredRecvHandle,
-    ThreadComm,
-    ThreadWorld,
+    Handle,
+    TAG_USER_LIMIT,
     WorldAbortedError,
+    copy_payload,
+    payload_nbytes,
 )
+from .launcher import run_ranks
+from .nonblocking import NonBlockingHandle, i_collective
+from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
+from .thread_backend import ThreadBackend, ThreadComm, ThreadWorld
 from .trace import COMPUTE, MARK, RECV, SEND, Trace, TraceEvent
 
 __all__ = [
@@ -18,6 +42,10 @@ __all__ = [
     "payload_nbytes",
     "copy_payload",
     "TAG_USER_LIMIT",
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "ParallelResult",
     "RankError",
     "run_ranks",
@@ -25,8 +53,12 @@ __all__ = [
     "i_collective",
     "CompletedHandle",
     "DeferredRecvHandle",
+    "ThreadBackend",
     "ThreadComm",
     "ThreadWorld",
+    "ProcessBackend",
+    "ProcessComm",
+    "ProcessWorld",
     "WorldAbortedError",
     "Trace",
     "TraceEvent",

@@ -1,0 +1,133 @@
+"""Pluggable runtime backends: who executes the ranks of a parallel run.
+
+Every collective in :mod:`repro.collectives` is written against the
+:class:`~repro.runtime.comm.Communicator` interface alone; a *backend* is
+the piece that brings ``P`` communicators to life, runs the user's rank
+function on each, moves messages between them, and assembles the per-rank
+results and the trace. SparCML's algorithms are drop-in MPI collectives
+(§7); mirroring that, backends are interchangeable launchers — the same
+program runs unmodified on any of them:
+
+``thread`` (:class:`~repro.runtime.thread_backend.ThreadBackend`)
+    one thread per rank in this process, shared-memory mailboxes. Fast,
+    zero-setup, the default for tests and cost-model studies.
+``process`` (:class:`~repro.runtime.process_backend.ProcessBackend`)
+    one OS process per rank with real serialized transport over pipes,
+    including the sparse/dense header word of §5.1 on every stream
+    payload. The closest analog of the paper's deployment.
+
+Backends register themselves under a short name via
+:func:`register_backend` when their module is imported (the two built-ins
+are imported by ``repro.runtime``'s package ``__init__``, so they are
+always available); :func:`~repro.runtime.run_ranks` resolves the
+``backend=`` argument through :func:`get_backend`, so user code selects a
+transport with a string::
+
+    run_ranks(program, nranks=8, backend="process")
+
+Writing a new backend means subclassing :class:`Backend`, implementing
+:meth:`Backend.run` (typically by providing a ``Communicator`` subclass
+with the four transport hooks), and registering it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .trace import Trace
+
+__all__ = [
+    "Backend",
+    "ParallelResult",
+    "RankError",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class RankError(RuntimeError):
+    """Wraps an exception raised inside a rank function."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of one parallel run."""
+
+    results: list[Any]
+    trace: Trace
+    world: Any
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.results[rank]
+
+
+class Backend(abc.ABC):
+    """A way of executing ``P`` communicating ranks.
+
+    Subclasses provide :attr:`name` (the registry key) and :meth:`run`.
+    A backend instance is stateless and reusable; all per-run state lives
+    in the world object it creates for each :meth:`run` call.
+    """
+
+    #: registry key; also what ``run_ranks(backend=...)`` matches against.
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        fn: Callable[..., Any],
+        nranks: int,
+        *args: Any,
+        copy_payloads: bool = True,
+        trace: Trace | None = None,
+        timeout: float | None = 300.0,
+        **kwargs: Any,
+    ) -> ParallelResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
+
+        Must propagate the first rank failure as :class:`RankError`, abort
+        peers blocked on communication instead of deadlocking, and enforce
+        ``timeout`` (raising :class:`TimeoutError`).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (idempotent re-register)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(spec: "str | Backend") -> Backend:
+    """Resolve a backend name (or pass through an instance)."""
+    if isinstance(spec, Backend):
+        return spec
+    try:
+        factory = _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return factory()

@@ -3,8 +3,31 @@
 The collective algorithms in :mod:`repro.collectives` are written against
 this interface only; any backend that provides blocking point-to-point
 ``send``/``recv`` with FIFO matching per (source, dest, tag) channel — the
-semantics MPI guarantees — can execute them. The library ships a
-thread-backed implementation (:mod:`repro.runtime.thread_backend`).
+semantics MPI guarantees — can execute them. The library ships two
+implementations, selected by the ``backend=`` argument of
+:func:`~repro.runtime.run_ranks`:
+
+* :mod:`repro.runtime.thread_backend` — one thread per rank, shared
+  mailboxes (fast, in-process);
+* :mod:`repro.runtime.process_backend` — one OS process per rank with
+  real serialized transport over pipes.
+
+Layering
+--------
+:class:`Communicator` implements the *traced* operations (``send``,
+``recv``, ``isend``, ``irecv``, ``sendrecv``, ``barrier``, ``bcast``, …)
+once, on top of four small transport hooks that each backend provides:
+
+``_alloc_seq``
+    allocate the FIFO sequence number of a (src, dst, tag) channel;
+``_transport_send`` / ``_transport_recv``
+    move one payload without touching the trace;
+``_probe``
+    non-blocking test for a pending matching message.
+
+This split is what lets :mod:`repro.runtime.nonblocking` buffer trace
+events of a background collective while the traffic itself flows through
+the real backend, on *any* backend.
 
 Byte accounting
 ---------------
@@ -18,13 +41,25 @@ model, so they must be consistent across the library.
 from __future__ import annotations
 
 import abc
+import threading
+from collections import deque
 from typing import Any
 
 import numpy as np
 
 from ..config import STREAM_HEADER_BYTES
+from .trace import Trace
 
-__all__ = ["Communicator", "payload_nbytes", "copy_payload", "TAG_USER_LIMIT"]
+__all__ = [
+    "Communicator",
+    "Handle",
+    "CompletedHandle",
+    "DeferredRecvHandle",
+    "WorldAbortedError",
+    "payload_nbytes",
+    "copy_payload",
+    "TAG_USER_LIMIT",
+]
 
 #: user code may use tags in [0, TAG_USER_LIMIT); collectives allocate blocks
 #: above it so that user traffic never collides with internal traffic.
@@ -32,6 +67,72 @@ TAG_USER_LIMIT = 1 << 16
 
 #: number of distinct tags reserved for a single collective invocation.
 COLLECTIVE_TAG_BLOCK = 64
+
+
+class WorldAbortedError(RuntimeError):
+    """Raised in ranks blocked on communication after another rank failed."""
+
+
+#: how often blocked receivers poll the failure flag (seconds).
+_ABORT_POLL_S = 0.05
+
+
+class Mailbox:
+    """FIFO queue for one message channel (shared by both backends)."""
+
+    __slots__ = ("items", "cond")
+
+    def __init__(self) -> None:
+        self.items: deque[tuple[Any, int, int]] = deque()  # (payload, nbytes, seq)
+        self.cond = threading.Condition()
+
+    def put(self, payload: Any, nbytes: int, seq: int) -> None:
+        with self.cond:
+            self.items.append((payload, nbytes, seq))
+            self.cond.notify()
+
+    def get(self, aborted: threading.Event) -> tuple[Any, int, int]:
+        with self.cond:
+            while not self.items:
+                if aborted.is_set():
+                    raise WorldAbortedError("another rank failed; aborting recv")
+                self.cond.wait(timeout=_ABORT_POLL_S)
+            return self.items.popleft()
+
+    def has_items(self) -> bool:
+        with self.cond:
+            return bool(self.items)
+
+
+class MailboxRegistry:
+    """Lazily-created mailboxes keyed by channel tuple, with abort wakeup.
+
+    The thread backend keys channels world-globally as (src, dst, tag);
+    the process backend keys them per-rank as (src, tag). The creation
+    (double-checked setdefault) and notify-all-on-abort logic is identical,
+    so it lives here once.
+    """
+
+    __slots__ = ("_boxes", "_lock")
+
+    def __init__(self) -> None:
+        self._boxes: dict[tuple, Mailbox] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> Mailbox:
+        box = self._boxes.get(key)
+        if box is None:
+            with self._lock:
+                box = self._boxes.setdefault(key, Mailbox())
+        return box
+
+    def wake_all(self) -> None:
+        """Wake every blocked receiver (after the abort flag is set)."""
+        with self._lock:
+            boxes = list(self._boxes.values())
+        for box in boxes:
+            with box.cond:
+                box.cond.notify_all()
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -65,7 +166,8 @@ def copy_payload(obj: Any) -> Any:
     """Deep-enough copy of a payload so sender and receiver never alias.
 
     The thread backend shares one address space; MPI semantics give the
-    receiver an independent buffer, so sends copy by default.
+    receiver an independent buffer, so sends copy by default. (The process
+    backend gets this isolation for free from serialization.)
     """
     if obj is None or isinstance(obj, (bool, int, float, str, bytes, np.integer, np.floating)):
         return obj
@@ -83,42 +185,121 @@ def copy_payload(obj: Any) -> Any:
 class Communicator(abc.ABC):
     """A group of ``size`` ranks with point-to-point messaging.
 
-    Concrete backends must implement :meth:`send` and :meth:`recv`; the
-    remaining operations have default implementations in terms of those.
+    Concrete backends must implement the four transport hooks
+    (:meth:`_alloc_seq`, :meth:`_transport_send`, :meth:`_transport_recv`,
+    :meth:`_probe`) and set :attr:`trace`; every traced operation has a
+    shared implementation here.
     """
 
     rank: int
     size: int
+    #: the trace this communicator's events are recorded into. For ordinary
+    #: backends this is the world trace; proxy communicators (nonblocking
+    #: collectives) point it at a private buffer.
+    trace: Trace
+
+    _collective_counter: int = 0
 
     # ------------------------------------------------------------------
+    # transport hooks (backend-provided)
+    # ------------------------------------------------------------------
     @abc.abstractmethod
+    def _alloc_seq(self, dest: int, tag: int) -> int:
+        """Allocate the FIFO sequence number for the (rank, dest, tag) channel."""
+
+    @abc.abstractmethod
+    def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
+        """Move one payload to ``dest`` without recording trace events."""
+
+    @abc.abstractmethod
+    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
+        """Blocking matching receive; returns ``(payload, nbytes, seq)``."""
+
+    @abc.abstractmethod
+    def _probe(self, source: int, tag: int) -> bool:
+        """Non-blocking test: is a matching message already deliverable?"""
+
+    def _map_tag(self, tag: int) -> int:
+        """Hook for proxy communicators that relocate traffic in tag space."""
+        return tag
+
+    # ------------------------------------------------------------------
+    # traced point-to-point operations
+    # ------------------------------------------------------------------
+    def _check_peer(self, peer: int, role: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"{role} rank {peer} out of range [0, {self.size})")
+        if peer == self.rank:
+            if role == "dest":
+                raise ValueError("self-sends are not supported; use local state")
+            raise ValueError("self-receives are not supported")
+
+    def _check_tag(self, tag: int) -> None:
+        # negative tags are reserved for transport-internal framing (e.g. the
+        # process backend's FIN marker); rejecting them here keeps the
+        # contract identical on every backend.
+        if tag < 0:
+            raise ValueError(f"message tags must be non-negative, got {tag}")
+
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking (buffered) send of ``obj`` to rank ``dest``."""
+        self._check_peer(dest, "dest")
+        self._check_tag(tag)
+        tag = self._map_tag(tag)
+        nbytes = payload_nbytes(obj)
+        seq = self._alloc_seq(dest, tag)
+        self.trace.record_send(self.rank, dest, tag, seq, nbytes)
+        self._transport_send(obj, nbytes, seq, dest, tag)
 
-    @abc.abstractmethod
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive of the next message from ``source`` on ``tag``."""
+        self._check_peer(source, "source")
+        self._check_tag(tag)
+        tag = self._map_tag(tag)
+        payload, nbytes, seq = self._transport_recv(source, tag)
+        self.trace.record_recv(self.rank, source, tag, seq, nbytes)
+        return payload
 
-    @abc.abstractmethod
     def isend(self, obj: Any, dest: int, tag: int = 0) -> "Handle":
-        """Non-blocking send; returns a completion handle."""
+        """Non-blocking send; returns a completion handle.
 
-    @abc.abstractmethod
+        Both backends implement buffered-send semantics: the payload is
+        copied (or serialized) immediately, so the operation is already
+        complete when the handle is returned.
+        """
+        self.send(obj, dest, tag)
+        return CompletedHandle()
+
     def irecv(self, source: int, tag: int = 0) -> "Handle":
         """Non-blocking receive; ``wait()`` yields the payload."""
+        return DeferredRecvHandle(self, source, tag)
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------
+    # local bookkeeping
+    # ------------------------------------------------------------------
     def compute(self, nbytes: int, label: str = "") -> None:
         """Charge ``nbytes`` of local memory-bound work to the trace."""
+        if nbytes < 0:
+            raise ValueError(f"compute bytes must be non-negative, got {nbytes}")
+        if nbytes:
+            self.trace.record_compute(self.rank, nbytes, label)
 
-    @abc.abstractmethod
+    def mark(self, label: str) -> None:
+        """Insert a phase marker into the trace (zero cost)."""
+        self.trace.record_mark(self.rank, label)
+
     def next_collective_tag(self) -> int:
         """Allocate a tag block for one collective invocation.
 
         All ranks call collectives in the same order (the MPI contract), so
         per-communicator counters stay in sync without communication.
         """
+        tag = TAG_USER_LIMIT + self._collective_counter * COLLECTIVE_TAG_BLOCK
+        self._collective_counter += 1
+        return tag
 
+    # ------------------------------------------------------------------
+    # composite operations
     # ------------------------------------------------------------------
     def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
         """Simultaneous exchange with ``peer`` (both directions overlap)."""
@@ -175,9 +356,6 @@ class Communicator(abc.ABC):
         self.send(obj, root, base)
         return None
 
-    def mark(self, label: str) -> None:
-        """Insert a phase marker into the trace (zero cost)."""
-
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}(rank={self.rank}, size={self.size})"
@@ -193,3 +371,42 @@ class Handle(abc.ABC):
     @abc.abstractmethod
     def test(self) -> bool:
         """Non-blocking completion probe."""
+
+
+class CompletedHandle(Handle):
+    """Handle of an already-finished operation (buffered sends)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def wait(self) -> Any:
+        return self._value
+
+    def test(self) -> bool:
+        return True
+
+
+class DeferredRecvHandle(Handle):
+    """irecv handle: performs the matching receive at ``wait()`` time."""
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(self, comm: Communicator, source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        return self._comm._probe(self._source, self._comm._map_tag(self._tag))

@@ -1,52 +1,28 @@
-"""Parallel run harness: spawn one thread per rank and collect results.
+"""Parallel run harness: spawn one rank per thread/process and collect results.
 
-``run_ranks(fn, nranks)`` is the ``mpiexec`` analog: it builds a
-:class:`~repro.runtime.thread_backend.ThreadWorld`, runs ``fn(comm, ...)`` on
+``run_ranks(fn, nranks)`` is the ``mpiexec`` analog: it resolves the
+requested :class:`~repro.runtime.backend.Backend` (``"thread"`` by default,
+``"process"`` for real multiprocess transport), runs ``fn(comm, ...)`` on
 every rank concurrently, propagates the first exception (aborting blocked
-peers instead of deadlocking) and returns the per-rank results together with
-the recorded trace.
+peers instead of deadlocking) and returns the per-rank results together
+with the recorded trace.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
 from typing import Any, Callable
 
-from .thread_backend import ThreadWorld, WorldAbortedError
+from .backend import Backend, ParallelResult, RankError, get_backend
 from .trace import Trace
 
 __all__ = ["run_ranks", "ParallelResult", "RankError"]
-
-
-class RankError(RuntimeError):
-    """Wraps an exception raised inside a rank function."""
-
-    def __init__(self, rank: int, original: BaseException) -> None:
-        super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
-        self.rank = rank
-        self.original = original
-
-
-@dataclass
-class ParallelResult:
-    """Outcome of one parallel run."""
-
-    results: list[Any]
-    trace: Trace
-    world: ThreadWorld
-
-    def __iter__(self):
-        return iter(self.results)
-
-    def __getitem__(self, rank: int) -> Any:
-        return self.results[rank]
 
 
 def run_ranks(
     fn: Callable[..., Any],
     nranks: int,
     *args: Any,
+    backend: "str | Backend" = "thread",
     copy_payloads: bool = True,
     trace: Trace | None = None,
     timeout: float | None = 300.0,
@@ -60,9 +36,14 @@ def run_ranks(
         The per-rank program. Its first argument is the rank's communicator.
     nranks:
         World size ``P``.
+    backend:
+        Which runtime executes the ranks: ``"thread"`` (in-process, the
+        default), ``"process"`` (one OS process per rank with serialized
+        pipe transport), or any registered :class:`Backend` instance.
     copy_payloads:
         Copy messages on send (MPI semantics). Disable only for read-only
-        payload protocols.
+        payload protocols; the process backend always isolates payloads
+        through serialization.
     trace:
         Optional pre-existing trace to append to (e.g. to accumulate multiple
         collective invocations into one replayable log).
@@ -79,40 +60,12 @@ def run_ranks(
     RankError
         Re-raises the first rank failure, chained to the original exception.
     """
-    if nranks < 1:
-        raise ValueError(f"nranks must be >= 1, got {nranks}")
-    world = ThreadWorld(nranks, copy_payloads=copy_payloads, trace=trace)
-    results: list[Any] = [None] * nranks
-    errors: list[tuple[int, BaseException]] = []
-    errors_lock = threading.Lock()
-
-    def runner(rank: int) -> None:
-        comm = world.comm(rank)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except WorldAbortedError:
-            pass  # secondary failure: another rank already aborted the world
-        except BaseException as exc:  # noqa: BLE001 - must propagate rank errors
-            with errors_lock:
-                errors.append((rank, exc))
-            world.abort()
-
-    threads = [
-        threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}", daemon=True)
-        for rank in range(nranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=timeout)
-        if t.is_alive():
-            world.abort()
-            raise TimeoutError(
-                f"parallel run did not finish within {timeout}s "
-                f"(likely deadlock in {t.name})"
-            )
-
-    if errors:
-        rank, original = min(errors, key=lambda e: e[0])
-        raise RankError(rank, original) from original
-    return ParallelResult(results=results, trace=world.trace, world=world)
+    return get_backend(backend).run(
+        fn,
+        nranks,
+        *args,
+        copy_payloads=copy_payloads,
+        trace=trace,
+        timeout=timeout,
+        **kwargs,
+    )

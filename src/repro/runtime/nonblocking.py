@@ -8,6 +8,12 @@ We reproduce exactly that: :func:`i_collective` launches the rank's part of
 a collective on a background progress thread and hands back a handle. The
 caller keeps computing and calls ``wait()`` when it needs the result.
 
+The machinery is backend-agnostic: :class:`_BufferedComm` is a proxy
+communicator that shifts the collective's traffic into a disjoint tag
+space and buffers its trace events, while the payloads themselves flow
+through the wrapped communicator's transport hooks — thread mailboxes or
+process pipes alike.
+
 Trace semantics: the background events are buffered and appended to the
 rank's trace at ``wait()`` time, i.e. replay times the collective as if it
 completed at the join point. End-to-end benches model the overlap benefit as
@@ -21,7 +27,6 @@ import threading
 from typing import Any, Callable
 
 from .comm import Communicator, Handle
-from .thread_backend import ThreadComm
 from .trace import Trace
 
 __all__ = ["NonBlockingHandle", "i_collective"]
@@ -35,63 +40,39 @@ class _BufferedComm(Communicator):
     bookkeeping is deferred so the rank's event log stays in program order.
     """
 
-    def __init__(self, inner: ThreadComm, tag_base: int) -> None:
+    def __init__(self, inner: Communicator, tag_base: int) -> None:
         self.inner = inner
         self.rank = inner.rank
         self.size = inner.size
-        self.buffer = Trace(inner.size)
+        self.trace = Trace(inner.size)  # the private event buffer
         self._tag_base = tag_base
-        self._tag_counter = 0
-        self._real_trace = inner.world.trace
+        self._collective_counter = 0
 
-    def _shift(self, tag: int) -> int:
+    def _map_tag(self, tag: int) -> int:
         return self._tag_base + tag
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        shifted = self._shift(tag)
-        from .comm import payload_nbytes, copy_payload
+    # transport delegates to the wrapped backend (tags arrive pre-shifted)
+    def _alloc_seq(self, dest: int, tag: int) -> int:
+        return self.inner._alloc_seq(dest, tag)
 
-        nbytes = payload_nbytes(obj)
-        payload = copy_payload(obj) if self.inner.world.copy_payloads else obj
-        seq = self._real_trace.next_seq(self.rank, dest, shifted)
-        self.buffer.record_send(self.rank, dest, shifted, seq, nbytes)
-        self.inner.world.mailbox(self.rank, dest, shifted).put(payload, nbytes, seq)
+    def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
+        self.inner._transport_send(obj, nbytes, seq, dest, tag)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        shifted = self._shift(tag)
-        box = self.inner.world.mailbox(source, self.rank, shifted)
-        payload, nbytes, seq = box.get(self.inner.world.aborted)
-        self.buffer.record_recv(self.rank, source, shifted, seq, nbytes)
-        return payload
+    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
+        return self.inner._transport_recv(source, tag)
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Handle:
-        self.send(obj, dest, tag)
-        from .thread_backend import CompletedHandle
-
-        return CompletedHandle()
-
-    def irecv(self, source: int, tag: int = 0) -> Handle:
-        from .thread_backend import DeferredRecvHandle
-
-        # DeferredRecvHandle calls back into self.recv, keeping buffering
-        return DeferredRecvHandle(self, source, tag)  # type: ignore[arg-type]
-
-    def compute(self, nbytes: int, label: str = "") -> None:
-        if nbytes:
-            self.buffer.record_compute(self.rank, nbytes, label)
-
-    def mark(self, label: str) -> None:
-        self.buffer.record_mark(self.rank, label)
+    def _probe(self, source: int, tag: int) -> bool:
+        return self.inner._probe(source, tag)
 
     def next_collective_tag(self) -> int:
         # tags inside the buffered collective live in the shifted space
-        tag = self._tag_counter * 64
-        self._tag_counter += 1
+        tag = self._collective_counter * 64
+        self._collective_counter += 1
         return tag
 
     def flush_into(self, trace: Trace) -> None:
         """Append the buffered events to the real trace (at join time)."""
-        for event in self.buffer.events(self.rank):
+        for event in self.trace.events(self.rank):
             trace.record(event)
 
 
@@ -107,7 +88,7 @@ class NonBlockingHandle(Handle):
     def wait(self) -> Any:
         if not self._joined:
             self._thread.join()
-            self._comm.flush_into(self._comm.inner.world.trace)
+            self._comm.flush_into(self._comm.inner.trace)
             self._joined = True
         if self._box and isinstance(self._box[0], BaseException):
             raise self._box[0]
@@ -118,7 +99,7 @@ class NonBlockingHandle(Handle):
 
 
 def i_collective(
-    comm: ThreadComm,
+    comm: Communicator,
     collective: Callable[..., Any],
     *args: Any,
     **kwargs: Any,
@@ -127,6 +108,9 @@ def i_collective(
 
     All ranks must call this in the same program order (the usual MPI
     non-blocking-collective contract) so the shifted tag spaces line up.
+    Works on any backend: the progress thread lives inside the rank (the
+    rank's thread on the thread backend, the rank's process on the process
+    backend).
     """
     tag_base = comm.next_collective_tag() << 8  # disjoint from blocking tags
     proxy = _BufferedComm(comm, tag_base)

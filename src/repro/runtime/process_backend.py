@@ -1,0 +1,502 @@
+"""Process-backed communicator: one OS process per rank, pipes as the wire.
+
+This is the library's *real* transport: every rank runs in its own
+``multiprocessing`` process with a private address space, and every message
+crosses a process boundary as serialized bytes (see
+:mod:`repro.runtime.wire` — sparse streams travel with the §5.1 header
+word, everything else as pickle). Nothing is shared, so the backend
+faithfully exercises what the thread backend can only emulate: payload
+serialization, independent buffers, and true parallel rank execution.
+
+Architecture (per run of ``P`` ranks)
+-------------------------------------
+* the parent creates a full mesh of ``P * (P-1)`` unidirectional pipes plus
+  one result pipe per rank, then forks one worker process per rank;
+* inside each worker, one daemon *receiver thread per peer* drains that
+  peer's pipe into per-(source, tag) FIFO mailboxes, so a blocking ``send``
+  can never deadlock against an unread pipe buffer: the remote receiver
+  thread always drains, independent of what the remote rank program is
+  doing (this stands in for MPI's progress engine);
+* sequence numbers are allocated sender-side per (dest, tag) channel and
+  travel in the frame header, so FIFO matching needs no shared state;
+* each worker records its own local :class:`~repro.runtime.trace.Trace`
+  and ships its event list back with the result; the parent rebases the
+  sequence numbers onto the run's trace and merges.
+
+Failure handling: a failing rank reports its exception over the result
+pipe and exits; peers observe EOF on its pipes, flag the world aborted and
+unwind with :class:`WorldAbortedError`; the parent terminates stragglers
+and re-raises the lowest-ranked failure as :class:`RankError`, exactly
+like the thread backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import threading
+import time
+from multiprocessing.connection import Connection, wait as conn_wait
+from typing import Any, Callable
+
+from .backend import Backend, ParallelResult, RankError, register_backend
+from .comm import Communicator, Mailbox, MailboxRegistry, WorldAbortedError
+from .trace import RECV, SEND, Trace, TraceEvent
+from .wire import decode_message, encode_message
+
+__all__ = ["ProcessBackend", "ProcessComm", "ProcessWorld"]
+
+#: preferred start method: fork keeps closures usable as rank functions and
+#: is cheap; on platforms without it we fall back to spawn (rank functions
+#: must then be picklable, i.e. module-level).
+_START_METHOD = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+#: after the first failure report, how long to keep collecting results from
+#: the other ranks before terminating them (seconds).
+_ERROR_GRACE_S = 1.0
+
+#: frame tag of the graceful-shutdown marker a finishing rank sends on every
+#: outbound pipe. Receivers treat EOF *without* a preceding FIN as peer
+#: death (abort); EOF after FIN is a normal wind-down.
+_FIN_TAG = -1
+
+
+class ProcessComm(Communicator):
+    """Per-rank communicator of one worker process.
+
+    ``out_conns[d]`` / ``in_conns[s]`` are this rank's pipe ends to and from
+    each peer (``None`` at its own slot).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        out_conns: list[Connection | None],
+        in_conns: list[Connection | None],
+        trace: Trace,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.trace = trace
+        self._out_conns = out_conns
+        self._out_locks = [threading.Lock() if c is not None else None for c in out_conns]
+        self._collective_counter = 0
+        self._mailboxes = MailboxRegistry()
+        self.aborted = threading.Event()
+        self._receivers = []
+        for src, conn in enumerate(in_conns):
+            if conn is None:
+                continue
+            t = threading.Thread(
+                target=self._pump, args=(src, conn), name=f"recv-{src}->{rank}", daemon=True
+            )
+            t.start()
+            self._receivers.append(t)
+
+    # ------------------------------------------------------------------
+    # inbound progress engine
+    # ------------------------------------------------------------------
+    def _mailbox(self, src: int, tag: int) -> Mailbox:
+        return self._mailboxes.get((src, tag))
+
+    def _pump(self, src: int, conn: Connection) -> None:
+        """Receiver thread: drain one peer's pipe into the mailboxes."""
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except (EOFError, OSError):
+                # EOF with no FIN first: the peer died mid-run. Wake anyone
+                # blocked on its (or anyone's) traffic so the rank unwinds.
+                self._abort()
+                return
+            try:
+                tag, seq, nbytes, payload = decode_message(blob)
+            except Exception:
+                # undecodable frame (e.g. a payload whose pickle references a
+                # class this process cannot import): fail fast instead of
+                # silently stopping the progress engine and hanging the run
+                self._abort()
+                return
+            if tag == _FIN_TAG:
+                return  # peer finished cleanly; its channels are drained
+            self._mailbox(src, tag).put(payload, nbytes, seq)
+
+    def shutdown(self) -> None:
+        """Graceful wind-down: tell every peer this rank is done sending."""
+        fin = encode_message(_FIN_TAG, -1, 0, None)
+        for dest, conn in enumerate(self._out_conns):
+            if conn is None:
+                continue
+            try:
+                with self._out_locks[dest]:
+                    conn.send_bytes(fin)
+            except (BrokenPipeError, OSError):  # peer already gone
+                pass
+
+    def _abort(self) -> None:
+        self.aborted.set()
+        self._mailboxes.wake_all()
+
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
+    def _alloc_seq(self, dest: int, tag: int) -> int:
+        # sender-side allocation against the worker-local trace: only this
+        # rank sends on (rank, dest, tag), so local counters are the truth
+        return self.trace.next_seq(self.rank, dest, tag)
+
+    def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
+        blob = encode_message(tag, seq, nbytes, obj)
+        conn = self._out_conns[dest]
+        lock = self._out_locks[dest]
+        try:
+            with lock:
+                conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            self._abort()
+            raise WorldAbortedError(f"rank {dest} is gone; send failed") from exc
+
+    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
+        return self._mailbox(source, tag).get(self.aborted)
+
+    def _probe(self, source: int, tag: int) -> bool:
+        return self._mailbox(source, tag).has_items()
+
+
+class ProcessWorld:
+    """Parent-side record of one process-backend run (for ParallelResult)."""
+
+    def __init__(self, size: int, start_method: str, pids: list[int]) -> None:
+        self.size = size
+        self.start_method = start_method
+        self.pids = pids
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ProcessWorld(size={self.size}, start_method={self.start_method!r})"
+
+
+def _child_main(
+    rank: int,
+    size: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    out_conns: list[Connection | None],
+    in_conns: list[Connection | None],
+    result_conn: Connection,
+    close_list: list[Connection],
+) -> None:
+    """Entry point of one rank process."""
+    # under fork every pipe end of every rank was inherited; drop the ones
+    # that are not ours so peer death propagates as EOF instead of hanging.
+    for conn in close_list:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    trace = Trace(size)
+    comm = ProcessComm(rank, size, out_conns, in_conns, trace)
+    try:
+        result = fn(comm, *args, **kwargs)
+        comm.shutdown()
+        payload = ("ok", rank, result, trace.events(rank))
+    except WorldAbortedError:
+        payload = ("aborted", rank, None, trace.events(rank))
+    except BaseException as exc:  # noqa: BLE001 - must propagate rank errors
+        payload = ("error", rank, _portable_exception(exc), trace.events(rank))
+    try:
+        result_conn.send(payload)
+    except Exception as exc:  # unpicklable result/exception
+        result_conn.send(("error", rank, _portable_exception(exc), None))
+    finally:
+        result_conn.close()
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a stand-in."""
+    try:
+        return pickle.loads(pickle.dumps(exc))
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+class ProcessBackend(Backend):
+    """Multiprocess backend: one OS process per rank, serialized transport."""
+
+    name = "process"
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        nranks: int,
+        *args: Any,
+        copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
+        trace: Trace | None = None,
+        timeout: float | None = 300.0,
+        **kwargs: Any,
+    ) -> ParallelResult:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        ctx = mp.get_context(_START_METHOD)
+        if _START_METHOD == "spawn":
+            # fail fast with a clear message instead of a mid-launch pickle
+            # traceback: spawn re-imports the child, so closures cannot travel
+            try:
+                pickle.dumps((fn, args, kwargs))
+            except Exception as exc:
+                raise ValueError(
+                    "the process backend on a spawn-only platform requires a "
+                    "picklable (module-level) rank function and arguments; "
+                    f"got {fn!r} ({exc})"
+                ) from exc
+
+        # full mesh of unidirectional pipes: channel[src][dst]. Setup and
+        # launch are guarded so a partial failure (e.g. EMFILE on a large
+        # mesh — the parent briefly holds ~2*P^2 descriptors) cleans up every
+        # pipe and already-started rank process instead of leaking them.
+        out_conns: list[list[Connection | None]] = [[None] * nranks for _ in range(nranks)]
+        in_conns: list[list[Connection | None]] = [[None] * nranks for _ in range(nranks)]
+        all_mesh: list[tuple[int, Connection, Connection]] = []  # (src, read_end, write_end)
+        result_pipes: list[tuple[Connection, Connection]] = []
+        procs: list[mp.Process] = []
+        try:
+            for src in range(nranks):
+                for dst in range(nranks):
+                    if src == dst:
+                        continue
+                    r, w = ctx.Pipe(duplex=False)
+                    out_conns[src][dst] = w
+                    in_conns[dst][src] = r
+                    all_mesh.append((src, r, w))
+            result_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+
+            for rank in range(nranks):
+                own = {id(c) for c in out_conns[rank] + in_conns[rank] if c is not None}
+                own.add(id(result_pipes[rank][1]))
+                close_list: list[Connection] = []
+                if _START_METHOD == "fork":
+                    # spawn children only inherit the conns we pass; fork children
+                    # inherit everything and must close foreign ends explicitly.
+                    for _, r, w in all_mesh:
+                        close_list += [c for c in (r, w) if id(c) not in own]
+                    close_list += [
+                        c for rr, ws in result_pipes for c in (rr, ws) if id(c) not in own
+                    ]
+                p = ctx.Process(
+                    target=_child_main,
+                    args=(
+                        rank,
+                        nranks,
+                        fn,
+                        args,
+                        kwargs,
+                        out_conns[rank],
+                        in_conns[rank],
+                        result_pipes[rank][1],
+                        close_list,
+                    ),
+                    name=f"rank-{rank}",
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+        except BaseException:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            for _, r, w in all_mesh:
+                for c in (r, w):
+                    c.close()
+            for r, w in result_pipes:
+                for c in (r, w):
+                    c.close()
+            raise
+
+        # parent keeps mesh *read* ends open so a late buffered send to an
+        # already-finished rank never hits EPIPE, but closes *write* ends so
+        # receivers see EOF once the one writing rank dies.
+        for _, _r, w in all_mesh:
+            w.close()
+        for _, ws in result_pipes:
+            ws.close()
+
+        try:
+            outcome = self._collect(
+                procs, [r for r, _ in result_pipes], nranks, timeout, in_conns
+            )
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            for _, r, _w in all_mesh:
+                r.close()
+            for r, _ in result_pipes:
+                r.close()
+
+        results, per_rank_events, errors, aborted_ranks = outcome
+        # merge before raising: on failure a caller-supplied trace keeps the
+        # partial events of surviving ranks, matching the thread backend
+        run_trace = trace if trace is not None else Trace(nranks)
+        _merge_events(run_trace, per_rank_events)
+        if errors:
+            rank, original = min(errors, key=lambda e: e[0])
+            raise RankError(rank, original) from original
+        if aborted_ranks:
+            # a rank unwound with WorldAbortedError but nobody reported the
+            # root failure (e.g. an undecodable frame killed a pump thread);
+            # surfacing it beats silently returning None results
+            rank = min(aborted_ranks)
+            original = WorldAbortedError(
+                f"rank {rank} aborted (peer connection or frame failure "
+                "without a reported rank error)"
+            )
+            raise RankError(rank, original) from original
+        world = ProcessWorld(nranks, _START_METHOD, [p.pid for p in procs])
+        return ParallelResult(results=results, trace=run_trace, world=world)
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        procs: list[mp.Process],
+        result_conns: list[Connection],
+        nranks: int,
+        timeout: float | None,
+        in_conns: list[list[Connection | None]],
+    ) -> tuple[list[Any], list[list[TraceEvent]], list[tuple[int, BaseException]], list[int]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        error_deadline: float | None = None
+        results: list[Any] = [None] * nranks
+        events: list[list[TraceEvent]] = [[] for _ in range(nranks)]
+        errors: list[tuple[int, BaseException]] = []
+        aborted_ranks: list[int] = []
+        pending = dict(enumerate(result_conns))
+        # once a rank has finished, nothing reads its inbound pipes anymore;
+        # the parent (which kept the read ends) drains them so a peer's late
+        # buffered send larger than the pipe capacity can never block forever
+        drainable: list[Connection] = []
+
+        while pending:
+            now = time.monotonic()
+            wait_for = None
+            if deadline is not None:
+                wait_for = deadline - now
+            if error_deadline is not None:
+                wait_for = min(error_deadline - now, wait_for) if wait_for is not None else error_deadline - now
+            if wait_for is not None and wait_for <= 0:
+                if errors or error_deadline is not None:
+                    break  # grace period after a failure ran out
+                raise TimeoutError(
+                    f"parallel run did not finish within {timeout}s "
+                    f"(ranks {sorted(pending)} still pending; likely deadlock)"
+                )
+            ready = conn_wait(list(pending.values()) + drainable, timeout=wait_for)
+            for conn in ready:
+                if conn not in pending.values():
+                    if not _drain_raw(conn):
+                        drainable.remove(conn)
+                    continue
+                rank = next(r for r, c in pending.items() if c is conn)
+                try:
+                    status, _r, value, rank_events = conn.recv()
+                except (EOFError, OSError):
+                    procs[rank].join(timeout=1.0)  # reap so exitcode is real
+                    code = procs[rank].exitcode
+                    errors.append(
+                        (rank, RuntimeError(f"rank {rank} process died (exitcode {code})"))
+                    )
+                    del pending[rank]
+                    # a hard-dead rank reads nothing either: drain its inbound
+                    # pipes so peers blocked sending to it still get unstuck
+                    drainable.extend(c for c in in_conns[rank] if c is not None)
+                    continue
+                del pending[rank]
+                drainable.extend(c for c in in_conns[rank] if c is not None)
+                if status == "ok":
+                    results[rank] = value
+                    events[rank] = rank_events
+                elif status == "aborted":
+                    events[rank] = rank_events or []
+                    aborted_ranks.append(rank)
+                else:  # "error"
+                    events[rank] = rank_events or []
+                    errors.append((rank, value))
+            if errors and error_deadline is None:
+                error_deadline = time.monotonic() + _ERROR_GRACE_S
+        return results, events, errors, aborted_ranks
+
+
+def _drain_raw(conn: Connection) -> bool:
+    """Discard whatever is readable on a finished rank's inbound pipe.
+
+    Uses raw non-blocking fd reads, not the framed ``recv_bytes``: while the
+    finished rank's process is still winding down, its receiver threads may
+    have consumed part of a frame, and the parent's job is only to keep the
+    pipe from filling up (unblocking late buffered senders) — the bytes are
+    never interpreted. Returns False once the pipe is exhausted for good
+    (EOF or error), True if it may become readable again.
+    """
+    try:
+        fd = conn.fileno()
+        os.set_blocking(fd, False)
+    except Exception:
+        # platforms whose Connections are not plain fds (Windows named
+        # pipes): fall back to framed draining. Partial frames can make a
+        # recv_bytes fail; that only ends the watch for this pipe.
+        try:
+            while conn.poll():
+                conn.recv_bytes()
+            return True
+        except Exception:
+            return False
+    try:
+        while True:
+            try:
+                chunk = os.read(fd, 1 << 16)
+            except BlockingIOError:
+                return True  # drained what was there; writers may add more
+            if not chunk:
+                return False  # EOF: every writer is gone
+    except Exception:
+        return False  # closed/unsupported: stop watching this pipe
+
+
+def _merge_events(trace: Trace, per_rank_events: list[list[TraceEvent]]) -> None:
+    """Merge worker event logs into ``trace``, rebasing channel seq numbers.
+
+    Workers allocate sequence numbers from zero each run; if the caller
+    accumulates several runs into one trace, the channels must continue
+    where the previous run left off for FIFO matching to stay unique.
+    """
+    counts: dict[tuple[int, int, int], int] = {}
+    for rank_events in per_rank_events:
+        for ev in rank_events:
+            if ev.op == SEND:
+                ch = (ev.rank, ev.peer, ev.tag)
+            elif ev.op == RECV:
+                ch = (ev.peer, ev.rank, ev.tag)
+            else:
+                continue
+            counts[ch] = max(counts.get(ch, 0), ev.seq + 1)
+    bases = {ch: trace.reserve_seqs(*ch, count) for ch, count in counts.items()}
+    for rank_events in per_rank_events:
+        for ev in rank_events:
+            if ev.op == SEND:
+                base = bases[(ev.rank, ev.peer, ev.tag)]
+            elif ev.op == RECV:
+                base = bases[(ev.peer, ev.rank, ev.tag)]
+            else:
+                trace.record(ev)
+                continue
+            if base:
+                ev = TraceEvent(ev.op, ev.rank, ev.peer, ev.tag, ev.seq + base, ev.nbytes, ev.label)
+            trace.record(ev)
+
+
+register_backend(ProcessBackend.name, ProcessBackend)

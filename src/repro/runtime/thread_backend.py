@@ -18,50 +18,28 @@ deadlocking.
 from __future__ import annotations
 
 import threading
-from collections import defaultdict, deque
-from typing import Any
+from typing import Any, Callable
 
+from .backend import Backend, ParallelResult, RankError, register_backend
 from .comm import (
-    COLLECTIVE_TAG_BLOCK,
-    TAG_USER_LIMIT,
     Communicator,
-    Handle,
+    CompletedHandle,
+    DeferredRecvHandle,
+    Mailbox,
+    MailboxRegistry,
+    WorldAbortedError,
     copy_payload,
-    payload_nbytes,
 )
 from .trace import Trace
 
-__all__ = ["ThreadWorld", "ThreadComm", "WorldAbortedError", "CompletedHandle", "DeferredRecvHandle"]
-
-#: how often blocked receivers poll the failure flag (seconds).
-_ABORT_POLL_S = 0.05
-
-
-class WorldAbortedError(RuntimeError):
-    """Raised in ranks blocked on communication after another rank failed."""
-
-
-class _Mailbox:
-    """FIFO queue for one (source, dest, tag) channel."""
-
-    __slots__ = ("items", "cond")
-
-    def __init__(self) -> None:
-        self.items: deque[tuple[Any, int, int]] = deque()  # (payload, nbytes, seq)
-        self.cond = threading.Condition()
-
-    def put(self, payload: Any, nbytes: int, seq: int) -> None:
-        with self.cond:
-            self.items.append((payload, nbytes, seq))
-            self.cond.notify()
-
-    def get(self, aborted: threading.Event) -> tuple[Any, int, int]:
-        with self.cond:
-            while not self.items:
-                if aborted.is_set():
-                    raise WorldAbortedError("another rank failed; aborting recv")
-                self.cond.wait(timeout=_ABORT_POLL_S)
-            return self.items.popleft()
+__all__ = [
+    "ThreadBackend",
+    "ThreadWorld",
+    "ThreadComm",
+    "WorldAbortedError",
+    "CompletedHandle",
+    "DeferredRecvHandle",
+]
 
 
 class ThreadWorld:
@@ -74,72 +52,21 @@ class ThreadWorld:
         self.copy_payloads = copy_payloads
         self.trace = trace if trace is not None else Trace(size)
         self.aborted = threading.Event()
-        self._boxes: dict[tuple[int, int, int], _Mailbox] = {}
-        self._boxes_lock = threading.Lock()
+        self._mailboxes = MailboxRegistry()
 
-    def mailbox(self, src: int, dst: int, tag: int) -> _Mailbox:
-        key = (src, dst, tag)
-        box = self._boxes.get(key)
-        if box is None:
-            with self._boxes_lock:
-                box = self._boxes.setdefault(key, _Mailbox())
-        return box
+    def mailbox(self, src: int, dst: int, tag: int) -> Mailbox:
+        return self._mailboxes.get((src, dst, tag))
 
     def abort(self) -> None:
         """Flag the world as failed and wake all blocked receivers."""
         self.aborted.set()
-        with self._boxes_lock:
-            boxes = list(self._boxes.values())
-        for box in boxes:
-            with box.cond:
-                box.cond.notify_all()
+        self._mailboxes.wake_all()
 
     def comm(self, rank: int) -> "ThreadComm":
         """The communicator handle for one rank."""
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range for world of size {self.size}")
         return ThreadComm(self, rank)
-
-
-class CompletedHandle(Handle):
-    """Handle of an already-finished operation (buffered sends)."""
-
-    __slots__ = ("_value",)
-
-    def __init__(self, value: Any = None) -> None:
-        self._value = value
-
-    def wait(self) -> Any:
-        return self._value
-
-    def test(self) -> bool:
-        return True
-
-
-class DeferredRecvHandle(Handle):
-    """irecv handle: performs the matching receive at ``wait()`` time."""
-
-    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
-
-    def __init__(self, comm: "ThreadComm", source: int, tag: int) -> None:
-        self._comm = comm
-        self._source = source
-        self._tag = tag
-        self._done = False
-        self._value: Any = None
-
-    def wait(self) -> Any:
-        if not self._done:
-            self._value = self._comm.recv(self._source, self._tag)
-            self._done = True
-        return self._value
-
-    def test(self) -> bool:
-        if self._done:
-            return True
-        box = self._comm.world.mailbox(self._source, self._comm.rank, self._tag)
-        with box.cond:
-            return bool(box.items)
 
 
 class ThreadComm(Communicator):
@@ -149,49 +76,80 @@ class ThreadComm(Communicator):
         self.world = world
         self.rank = rank
         self.size = world.size
+        self.trace = world.trace
         self._collective_counter = 0
 
     # ------------------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        if not 0 <= dest < self.size:
-            raise ValueError(f"dest rank {dest} out of range [0, {self.size})")
-        if dest == self.rank:
-            raise ValueError("self-sends are not supported; use local state")
-        nbytes = payload_nbytes(obj)
+    # transport hooks
+    # ------------------------------------------------------------------
+    def _alloc_seq(self, dest: int, tag: int) -> int:
+        return self.world.trace.next_seq(self.rank, dest, tag)
+
+    def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
         payload = copy_payload(obj) if self.world.copy_payloads else obj
-        seq = self.world.trace.next_seq(self.rank, dest, tag)
-        self.world.trace.record_send(self.rank, dest, tag, seq, nbytes)
         self.world.mailbox(self.rank, dest, tag).put(payload, nbytes, seq)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        if not 0 <= source < self.size:
-            raise ValueError(f"source rank {source} out of range [0, {self.size})")
-        if source == self.rank:
-            raise ValueError("self-receives are not supported")
+    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
         box = self.world.mailbox(source, self.rank, tag)
-        payload, nbytes, seq = box.get(self.world.aborted)
-        self.world.trace.record_recv(self.rank, source, tag, seq, nbytes)
-        return payload
+        return box.get(self.world.aborted)
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Handle:
-        # buffered semantics: the payload is copied into the mailbox at once,
-        # so the operation is already complete when the handle is returned.
-        self.send(obj, dest, tag)
-        return CompletedHandle()
+    def _probe(self, source: int, tag: int) -> bool:
+        return self.world.mailbox(source, self.rank, tag).has_items()
 
-    def irecv(self, source: int, tag: int = 0) -> Handle:
-        return DeferredRecvHandle(self, source, tag)
 
-    def compute(self, nbytes: int, label: str = "") -> None:
-        if nbytes < 0:
-            raise ValueError(f"compute bytes must be non-negative, got {nbytes}")
-        if nbytes:
-            self.world.trace.record_compute(self.rank, nbytes, label)
+class ThreadBackend(Backend):
+    """In-process backend: one daemon thread per rank, zero-copy transport
+    apart from the MPI-mandated send-side payload copy."""
 
-    def mark(self, label: str) -> None:
-        self.world.trace.record_mark(self.rank, label)
+    name = "thread"
 
-    def next_collective_tag(self) -> int:
-        tag = TAG_USER_LIMIT + self._collective_counter * COLLECTIVE_TAG_BLOCK
-        self._collective_counter += 1
-        return tag
+    def run(
+        self,
+        fn: Callable[..., Any],
+        nranks: int,
+        *args: Any,
+        copy_payloads: bool = True,
+        trace: Trace | None = None,
+        timeout: float | None = 300.0,
+        **kwargs: Any,
+    ) -> ParallelResult:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        world = ThreadWorld(nranks, copy_payloads=copy_payloads, trace=trace)
+        results: list[Any] = [None] * nranks
+        errors: list[tuple[int, BaseException]] = []
+        errors_lock = threading.Lock()
+
+        def runner(rank: int) -> None:
+            comm = world.comm(rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except WorldAbortedError:
+                pass  # secondary failure: another rank already aborted the world
+            except BaseException as exc:  # noqa: BLE001 - must propagate rank errors
+                with errors_lock:
+                    errors.append((rank, exc))
+                world.abort()
+
+        threads = [
+            threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}", daemon=True)
+            for rank in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+            if t.is_alive():
+                world.abort()
+                raise TimeoutError(
+                    f"parallel run did not finish within {timeout}s "
+                    f"(likely deadlock in {t.name})"
+                )
+
+        if errors:
+            rank, original = min(errors, key=lambda e: e[0])
+            raise RankError(rank, original) from original
+        return ParallelResult(results=results, trace=world.trace, world=world)
+
+
+register_backend(ThreadBackend.name, ThreadBackend)

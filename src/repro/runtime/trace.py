@@ -65,6 +65,22 @@ class Trace:
             self._seq[key] = seq + 1
         return seq
 
+    def reserve_seqs(self, src: int, dst: int, tag: int, count: int) -> int:
+        """Reserve ``count`` consecutive sequence numbers on a channel.
+
+        Used when merging events recorded off-trace (e.g. shipped back from
+        a worker process) into a trace that may already hold traffic on the
+        same channel: the merged events are rebased onto the returned start
+        so FIFO matching stays unambiguous.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        key = (src, dst, tag)
+        with self._seq_lock:
+            start = self._seq.get(key, 0)
+            self._seq[key] = start + count
+        return start
+
     def record(self, event: TraceEvent) -> None:
         """Append an event to its rank's log (no-op when disabled)."""
         if self.enabled:

@@ -1,0 +1,127 @@
+"""Wire format of the process backend: real serialized message framing.
+
+Every message the :mod:`~repro.runtime.process_backend` moves between rank
+processes is one byte blob::
+
+    <frame header: tag, seq, nbytes>  <payload>
+
+The payload encoding has a fast path for the library's own
+:class:`~repro.streams.SparseStream`, laid out the way §5.1 of the paper
+describes the buffer: the *first word* is the sparse/dense flag, followed
+by the dimension, dtype and the raw index/value buffers. Everything else
+(scalars, arrays, tuples, quantized blocks, containers that happen to hold
+streams) falls back to pickle — the transport is "pickle over pipe" with a
+binary stream format where it matters for fidelity.
+
+Decoded arrays are always fresh writable copies, so the process backend
+gets MPI's independent-buffer guarantee directly from (de)serialization —
+no explicit payload copy is needed on send.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..streams import SparseStream
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "encode_payload",
+    "decode_payload",
+    "FLAG_SPARSE",
+    "FLAG_DENSE",
+]
+
+#: frame header: tag (q), seq (q), accounted wire bytes (q).
+_FRAME = struct.Struct("<qqq")
+
+#: payload kind discriminator (one byte).
+_KIND_PICKLE = 0
+_KIND_STREAM = 1
+
+#: §5.1 header word values: the first word of a stream buffer.
+FLAG_SPARSE = 0
+FLAG_DENSE = 1
+
+#: stream header: flag word (Q), dimension (Q), nnz/payload length (Q),
+#: value dtype char (c), value_wire_bytes annotation (d; NaN = unset).
+_STREAM_HEADER = struct.Struct("<QQQcd")
+
+_DTYPE_CODES = {
+    np.dtype(np.float16): b"e",
+    np.dtype(np.float32): b"f",
+    np.dtype(np.float64): b"d",
+}
+_CODE_DTYPES = {code: dt for dt, code in _DTYPE_CODES.items()}
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Serialize one payload (stream fast path, pickle fallback)."""
+    if isinstance(obj, SparseStream):
+        return bytes([_KIND_STREAM]) + _encode_stream(obj)
+    return bytes([_KIND_PICKLE]) + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_payload(blob: bytes | memoryview) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    view = memoryview(blob)
+    kind = view[0]
+    body = view[1:]
+    if kind == _KIND_STREAM:
+        return _decode_stream(body)
+    if kind == _KIND_PICKLE:
+        return pickle.loads(body)
+    raise ValueError(f"corrupt payload: unknown kind byte {kind}")
+
+
+def encode_message(tag: int, seq: int, nbytes: int, obj: Any) -> bytes:
+    """Frame one point-to-point message for the pipe."""
+    return _FRAME.pack(tag, seq, nbytes) + encode_payload(obj)
+
+
+def decode_message(blob: bytes) -> tuple[int, int, int, Any]:
+    """Returns ``(tag, seq, nbytes, payload)``."""
+    tag, seq, nbytes = _FRAME.unpack_from(blob)
+    return tag, seq, nbytes, decode_payload(memoryview(blob)[_FRAME.size:])
+
+
+# ----------------------------------------------------------------------
+# SparseStream <-> bytes (§5.1 buffer layout)
+# ----------------------------------------------------------------------
+def _encode_stream(s: SparseStream) -> bytes:
+    dtype_code = _DTYPE_CODES[s.value_dtype]
+    wire = float("nan") if s.value_wire_bytes is None else float(s.value_wire_bytes)
+    if s.is_dense:
+        payload = s.dense_payload
+        header = _STREAM_HEADER.pack(FLAG_DENSE, s.dimension, payload.size, dtype_code, wire)
+        return header + payload.tobytes()
+    header = _STREAM_HEADER.pack(FLAG_SPARSE, s.dimension, s.nnz, dtype_code, wire)
+    return header + s.indices.tobytes() + s.values.tobytes()
+
+
+def _decode_stream(view: memoryview) -> SparseStream:
+    flag, dimension, count, dtype_code, wire = _STREAM_HEADER.unpack_from(view)
+    value_dtype = _CODE_DTYPES[bytes(dtype_code)]
+    body = view[_STREAM_HEADER.size:]
+    if flag == FLAG_DENSE:
+        dense = np.frombuffer(body, dtype=value_dtype, count=count).copy()
+        out = SparseStream(dimension, dense=dense, value_dtype=value_dtype, copy=False)
+    elif flag == FLAG_SPARSE:
+        from ..config import INDEX_DTYPE
+
+        idx_bytes = count * INDEX_DTYPE.itemsize
+        indices = np.frombuffer(body[:idx_bytes], dtype=INDEX_DTYPE).copy()
+        values = np.frombuffer(body[idx_bytes:], dtype=value_dtype, count=count).copy()
+        out = SparseStream(
+            dimension, indices=indices, values=values, value_dtype=value_dtype, copy=False
+        )
+    else:
+        raise ValueError(f"corrupt stream payload: header flag word {flag}")
+    out.value_wire_bytes = None if math.isnan(wire) else wire
+    return out

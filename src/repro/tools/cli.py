@@ -19,6 +19,7 @@ from collections import defaultdict
 
 from ..analysis import expected_union_size
 from ..netsim import PRESETS
+from ..runtime import available_backends
 from .sweeps import ALGORITHM_SET, SweepPoint, sweep_densities, sweep_node_counts
 
 __all__ = ["main", "build_parser"]
@@ -69,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     nodes.add_argument("--network", choices=sorted(PRESETS), default="aries")
     nodes.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
     nodes.add_argument("--seed", type=int, default=9000)
+    nodes.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="thread",
+        help="runtime backend executing the measured collectives",
+    )
 
     dens = sub.add_parser("sweep-density", help="reduction time vs density")
     dens.add_argument("--dimension", type=int, default=1 << 20)
@@ -77,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     dens.add_argument("--network", choices=sorted(PRESETS), default="gige")
     dens.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
     dens.add_argument("--seed", type=int, default=9000)
+    dens.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="thread",
+        help="runtime backend executing the measured collectives",
+    )
 
     ek = sub.add_parser("expected-k", help="App. B expected reduced size table")
     ek.add_argument("--dimension", type=int, default=512)
@@ -115,6 +128,7 @@ def main(argv: list[str] | None = None) -> int:
             network=args.network,
             algorithms=args.algorithms,
             seed=args.seed,
+            backend=args.backend,
         )
         print(
             f"reduction time vs node count (N={args.dimension}, "
@@ -131,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
             network=args.network,
             algorithms=args.algorithms,
             seed=args.seed,
+            backend=args.backend,
         )
         print(
             f"reduction time vs density (N={args.dimension}, "

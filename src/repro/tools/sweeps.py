@@ -65,7 +65,15 @@ def _resolve_model(network: str | NetworkModel) -> NetworkModel:
     raise ValueError(f"unknown network preset {network!r}; choose from {sorted(PRESETS)}")
 
 
-def _measure(name: str, nranks: int, dimension: int, nnz: int, model: NetworkModel, seed: int) -> SweepPoint:
+def _measure(
+    name: str,
+    nranks: int,
+    dimension: int,
+    nnz: int,
+    model: NetworkModel,
+    seed: int,
+    backend: str = "thread",
+) -> SweepPoint:
     kind, algo = ALGORITHM_SET[name]
 
     def prog(comm):
@@ -75,7 +83,7 @@ def _measure(name: str, nranks: int, dimension: int, nnz: int, model: NetworkMod
             return algo(comm, stream.to_dense())
         return algo(comm, stream)
 
-    out = run_ranks(prog, nranks)
+    out = run_ranks(prog, nranks, backend=backend)
     timing = replay(out.trace, model)
     return SweepPoint(
         algorithm=name,
@@ -95,17 +103,19 @@ def sweep_node_counts(
     network: str | NetworkModel = "aries",
     algorithms: list[str] | None = None,
     seed: int = 9000,
+    backend: str = "thread",
 ) -> list[SweepPoint]:
     """Reduction time vs node count (the Fig. 3 left sweep).
 
-    Returns one :class:`SweepPoint` per (algorithm, P).
+    Returns one :class:`SweepPoint` per (algorithm, P); ``backend`` selects
+    the runtime transport the measured run executes on.
     """
     model = _resolve_model(network)
     algorithms = algorithms or list(ALGORITHM_SET)
     _validate_algorithms(algorithms)
     nnz = max(1, int(dimension * density))
     return [
-        _measure(name, P, dimension, nnz, model, seed)
+        _measure(name, P, dimension, nnz, model, seed, backend)
         for name in algorithms
         for P in node_counts
     ]
@@ -118,6 +128,7 @@ def sweep_densities(
     network: str | NetworkModel = "gige",
     algorithms: list[str] | None = None,
     seed: int = 9000,
+    backend: str = "thread",
 ) -> list[SweepPoint]:
     """Reduction time vs per-node density (the Fig. 3 right sweep)."""
     model = _resolve_model(network)
@@ -129,7 +140,7 @@ def sweep_densities(
             raise ValueError(f"density must be in (0, 1], got {d}")
         nnz = max(1, int(dimension * d))
         for name in algorithms:
-            points.append(_measure(name, nranks, dimension, nnz, model, seed))
+            points.append(_measure(name, nranks, dimension, nnz, model, seed, backend))
     return points
 
 

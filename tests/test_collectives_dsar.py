@@ -8,7 +8,7 @@ from repro.quant import QSGDQuantizer
 from repro.runtime import run_ranks
 from repro.streams import SparseStream
 
-from .conftest import make_rank_stream, reference_sum
+from conftest import make_rank_stream, reference_sum
 
 
 def run_dsar(nranks, dim, nnz, quantizer_factory=None, seed=7000):

@@ -19,7 +19,7 @@ from repro.collectives import (
 from repro.runtime import RankError, run_ranks
 from repro.streams import SparseStream
 
-from .conftest import make_rank_stream, reference_sum
+from conftest import make_rank_stream, reference_sum
 
 SPARSE_ALGOS = {
     "rec_dbl": ssar_recursive_double,

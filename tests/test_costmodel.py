@@ -28,7 +28,7 @@ from repro.netsim import NetworkModel, replay
 from repro.runtime import run_ranks
 from repro.streams import SparseStream
 
-from .conftest import make_rank_stream
+from conftest import make_rank_stream
 
 #: bounds ignore compute, so replay with gamma = 0
 MODEL = NetworkModel(name="bounds", alpha=1e-6, beta=1e-9, gamma=0.0)

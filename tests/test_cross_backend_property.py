@@ -1,0 +1,81 @@
+"""Property-based cross-backend equivalence (hypothesis).
+
+For random (dimension, nnz, P): every SSAR algorithm computes the same sum
+as the dense reference, and the thread and process backends agree bit for
+bit. This is the randomized generalization of the fixed-size equivalence
+layer in ``test_backend_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import ssar_recursive_double, ssar_ring, ssar_split_allgather
+from repro.runtime import run_ranks
+
+from conftest import make_rank_stream, reference_sum
+
+ALGOS = {
+    "ssar_rec_dbl": ssar_recursive_double,
+    "ssar_split_ag": ssar_split_allgather,
+    "ssar_ring": ssar_ring,
+}
+
+
+def _run(algo, nranks, dim, nnz, seed, backend):
+    return run_ranks(
+        lambda comm: algo(comm, make_rank_stream(dim, nnz, comm.rank, seed)),
+        nranks,
+        backend=backend,
+    )
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    dim=st.integers(min_value=8, max_value=1500),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_property_slow_all_algorithms_agree_across_backends(nranks, dim, density, seed):
+    """ssar_rec_dbl == ssar_split_ag == ssar_ring == dense reference,
+    bit-identically across the thread and process backends."""
+    nnz = int(round(density * dim))
+    ref = reference_sum(dim, nnz, nranks, seed)
+    for name, algo in ALGOS.items():
+        thread_out = _run(algo, nranks, dim, nnz, seed, "thread")
+        process_out = _run(algo, nranks, dim, nnz, seed, "process")
+        for r in range(nranks):
+            t = thread_out[r].to_dense()
+            p = process_out[r].to_dense()
+            assert np.array_equal(t, p), f"{name} P={nranks} rank {r}: backends disagree"
+            assert np.allclose(t, ref, atol=1e-3), f"{name} P={nranks} rank {r}: wrong sum"
+        assert (
+            thread_out.trace.total_bytes_sent == process_out.trace.total_bytes_sent
+        ), f"{name}: byte accounting differs across backends"
+
+
+@pytest.mark.slow
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    dim=st.integers(min_value=16, max_value=512),
+    seed=st.integers(0, 10_000),
+)
+def test_property_slow_algorithms_agree_with_each_other(nranks, dim, seed):
+    """All three SSAR algorithms produce one identical answer per input."""
+    gen = np.random.default_rng(seed)
+    nnz = int(gen.integers(0, dim + 1))
+    outs = {
+        name: _run(algo, nranks, dim, nnz, seed, "process")[0].to_dense()
+        for name, algo in ALGOS.items()
+    }
+    base = outs.pop("ssar_rec_dbl")
+    for name, dense in outs.items():
+        assert np.allclose(dense, base, atol=1e-3), f"{name} disagrees with ssar_rec_dbl"

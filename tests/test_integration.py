@@ -23,7 +23,7 @@ from repro import (
 from repro.mlopt import LogisticRegression, SGDConfig, distributed_sgd, make_url_like
 from repro.nn import make_eval_fn, make_grad_fn, make_mlp
 
-from .conftest import make_rank_stream, reference_sum
+from conftest import make_rank_stream, reference_sum
 
 
 class TestMicrobenchClaims:

@@ -1,0 +1,186 @@
+"""Direct coverage for :mod:`repro.runtime.nonblocking` (paper §7).
+
+Previously only exercised indirectly through async SGD; these tests pin
+down request completion ordering, the deferred trace-flush contract, and
+that the machinery is backend-agnostic.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.collectives import ssar_recursive_double
+from repro.runtime import i_collective, run_ranks
+from repro.streams import SparseStream
+
+from conftest import make_rank_stream, reference_sum
+
+BACKENDS = ["thread", "process"]
+
+
+class TestRequestCompletionOrdering:
+    def test_isend_completes_before_matching_recv(self):
+        """Buffered sends are complete at return: test() is True immediately."""
+        def prog(comm):
+            if comm.rank == 0:
+                handles = [comm.isend(i, 1, tag=i) for i in range(5)]
+                states = [h.test() for h in handles]
+                for h in handles:
+                    h.wait()
+                return states
+            # receive out of order relative to posting order
+            return [comm.recv(0, tag=t) for t in (4, 2, 0, 1, 3)]
+
+        out = run_ranks(prog, 2)
+        assert out[0] == [True] * 5
+        assert out[1] == [4, 2, 0, 1, 3]
+
+    def test_irecv_handles_complete_in_arrival_order(self):
+        """Multiple posted irecvs on one channel drain FIFO at wait() time."""
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(4):
+                    comm.send(i * 10, 1, tag=6)
+                return None
+            handles = [comm.irecv(0, tag=6) for _ in range(4)]
+            return [h.wait() for h in handles]
+
+        out = run_ranks(prog, 2)
+        assert out[1] == [0, 10, 20, 30]
+
+    def test_irecv_test_tracks_arrival(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=1)  # wait until peer has posted its irecv
+                comm.send("x", 1, tag=2)
+                return None
+            handle = comm.irecv(0, tag=2)
+            assert not handle.test()  # nothing sent yet
+            comm.send(0, 0, tag=1)
+            deadline = time.monotonic() + 5.0
+            while not handle.test():
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise AssertionError("irecv never became ready")
+                time.sleep(0.005)
+            return handle.wait()
+
+        out = run_ranks(prog, 2)
+        assert out[1] == "x"
+
+    def test_icollective_wait_is_idempotent(self):
+        def prog(comm):
+            stream = make_rank_stream(256, 16, comm.rank)
+            handle = i_collective(comm, ssar_recursive_double, stream)
+            first = handle.wait()
+            second = handle.wait()
+            return first is second
+
+        out = run_ranks(prog, 2)
+        assert all(out.results)
+
+    def test_icollective_overlaps_with_blocking_traffic(self):
+        """User p2p traffic and the background collective share the wire."""
+        def prog(comm):
+            stream = make_rank_stream(512, 32, comm.rank)
+            handle = i_collective(comm, ssar_recursive_double, stream)
+            peer = 1 - comm.rank
+            user = comm.sendrecv(comm.rank + 100, peer, tag=3)
+            return user, handle.wait().to_dense()
+
+        out = run_ranks(prog, 2)
+        assert out[0][0] == 101 and out[1][0] == 100
+        ref = reference_sum(512, 32, 2)
+        for r in range(2):
+            assert np.allclose(out[r][1], ref, atol=1e-4)
+
+    def test_two_icollectives_in_program_order(self):
+        """Tag-space shifting keeps back-to-back collectives separate."""
+        def prog(comm):
+            s1 = make_rank_stream(256, 10, comm.rank, base_seed=100)
+            s2 = make_rank_stream(256, 10, comm.rank, base_seed=200)
+            h1 = i_collective(comm, ssar_recursive_double, s1)
+            h2 = i_collective(comm, ssar_recursive_double, s2)
+            return h2.wait().to_dense(), h1.wait().to_dense()
+
+        out = run_ranks(prog, 4)
+        ref1 = reference_sum(256, 10, 4, base_seed=100)
+        ref2 = reference_sum(256, 10, 4, base_seed=200)
+        for r in range(4):
+            assert np.allclose(out[r][0], ref2, atol=1e-4)
+            assert np.allclose(out[r][1], ref1, atol=1e-4)
+
+
+class TestDeferredTraceFlush:
+    def test_events_absent_until_wait(self):
+        """The rank's log gains the collective's events only at the join."""
+        def prog(comm):
+            stream = make_rank_stream(512, 32, comm.rank)
+            handle = i_collective(comm, ssar_recursive_double, stream)
+            while not handle.test():
+                time.sleep(0.002)
+            # collective finished in the background, but its events are
+            # still buffered: the rank log only holds what *we* recorded.
+            before = len(comm.trace.events(comm.rank))
+            comm.compute(64, "local")
+            handle.wait()
+            after = len(comm.trace.events(comm.rank))
+            return before, after
+
+        out = run_ranks(prog, 2)
+        for before, after in out.results:
+            assert before == 0
+            assert after > before + 1  # compute marker + flushed collective
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trace_counts_match_blocking_ssar(self, backend):
+        """One SSAR via i_collective records exactly the events of a
+        blocking SSAR call (same messages, same bytes), on both backends."""
+        def blocking(comm):
+            return ssar_recursive_double(comm, make_rank_stream(1024, 40, comm.rank))
+
+        def nonblocking(comm):
+            h = i_collective(comm, ssar_recursive_double, make_rank_stream(1024, 40, comm.rank))
+            return h.wait()
+
+        P = 4
+        blk = run_ranks(blocking, P, backend=backend)
+        nbk = run_ranks(nonblocking, P, backend=backend)
+        assert nbk.trace.total_messages == blk.trace.total_messages
+        assert nbk.trace.total_bytes_sent == blk.trace.total_bytes_sent
+        for r in range(P):
+            blk_ops = [e.op for e in blk.trace.events(r)]
+            nbk_ops = [e.op for e in nbk.trace.events(r)]
+            assert nbk_ops == blk_ops
+            assert np.array_equal(nbk[r].to_dense(), blk[r].to_dense())
+
+    def test_error_surfaces_at_wait_not_launch(self):
+        def bad_collective(comm):
+            raise RuntimeError("collective failed")
+
+        def prog(comm):
+            handle = i_collective(comm, bad_collective)
+            time.sleep(0.01)  # failure already happened in the background
+            with pytest.raises(RuntimeError, match="collective failed"):
+                handle.wait()
+            return True
+
+        out = run_ranks(prog, 2)
+        assert all(out.results)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_icollective_correct_on_backend(backend):
+    """The §7 non-blocking allreduce works over real process transport too."""
+    def prog(comm):
+        stream = make_rank_stream(1000, 20, comm.rank)
+        handle = i_collective(comm, ssar_recursive_double, stream)
+        local = sum(range(1000))  # overlapped local work
+        return handle.wait().to_dense(), local
+
+    out = run_ranks(prog, 4, backend=backend)
+    ref = reference_sum(1000, 20, 4)
+    for r in range(4):
+        assert np.allclose(out[r][0], ref, atol=1e-4)
+        assert out[r][1] == sum(range(1000))

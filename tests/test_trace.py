@@ -1,0 +1,134 @@
+"""Direct coverage for :mod:`repro.runtime.trace`.
+
+The trace is the contract between execution and the netsim replay; these
+tests pin its event accounting down at the unit level, including the exact
+event inventory of one SSAR call.
+"""
+
+import pytest
+
+from repro.collectives import ssar_recursive_double, ssar_split_allgather
+from repro.runtime import COMPUTE, MARK, RECV, SEND, Trace, TraceEvent, run_ranks
+
+from conftest import make_rank_stream
+
+
+class TestTraceBasics:
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            Trace(0)
+
+    def test_seq_allocation_is_per_channel(self):
+        t = Trace(2)
+        assert t.next_seq(0, 1, 5) == 0
+        assert t.next_seq(0, 1, 5) == 1
+        assert t.next_seq(1, 0, 5) == 0  # direction is part of the channel
+        assert t.next_seq(0, 1, 6) == 0  # so is the tag
+
+    def test_reserve_seqs_blocks_out_a_range(self):
+        t = Trace(2)
+        assert t.reserve_seqs(0, 1, 3, 4) == 0
+        assert t.next_seq(0, 1, 3) == 4
+        assert t.reserve_seqs(0, 1, 3, 2) == 5
+        assert t.reserve_seqs(0, 1, 3, 0) == 7  # zero-width reservation peeks
+
+    def test_reserve_seqs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Trace(2).reserve_seqs(0, 1, 0, -1)
+
+    def test_disabled_trace_records_nothing(self):
+        t = Trace(2)
+        t.enabled = False
+        t.record_send(0, 1, 0, 0, 100)
+        assert t.total_messages == 0
+
+    def test_clear_resets_events_and_seqs(self):
+        t = Trace(2)
+        t.next_seq(0, 1, 0)
+        t.record_send(0, 1, 0, 0, 10)
+        t.clear()
+        assert t.total_messages == 0
+        assert t.next_seq(0, 1, 0) == 0
+
+    def test_byte_accounting(self):
+        t = Trace(3)
+        t.record_send(0, 1, 0, 0, 100)
+        t.record_send(0, 2, 0, 0, 50)
+        t.record_recv(1, 0, 0, 0, 100)
+        t.record_recv(2, 0, 0, 0, 50)
+        t.record_compute(1, 999)
+        assert t.total_bytes_sent == 150
+        assert t.total_messages == 2
+        assert t.bytes_sent_by(0) == 150
+        assert t.bytes_received_by(1) == 100
+        assert t.max_bytes_received() == 100
+        assert t.summary() == {
+            "ranks": 3,
+            "messages": 2,
+            "bytes_sent": 150,
+            "max_rank_recv_bytes": 100,
+        }
+
+    def test_events_are_per_rank_and_ordered(self):
+        t = Trace(2)
+        t.record_mark(0, "a")
+        t.record_compute(0, 5, "b")
+        t.record_mark(1, "c")
+        assert [e.label for e in t.events(0)] == ["a", "b"]
+        assert [e.label for e in t.events(1)] == ["c"]
+        assert [len(lst) for lst in t] == [2, 1]
+
+
+class TestSSARTraceInventory:
+    """Exact event counts of one SSAR call at P = 4 (power of two)."""
+
+    P, DIM, NNZ = 4, 4096, 64
+
+    def _events(self, algo):
+        out = run_ranks(
+            lambda comm: algo(comm, make_rank_stream(self.DIM, self.NNZ, comm.rank)), self.P
+        )
+        return out.trace
+
+    def test_rec_dbl_message_count(self):
+        """Recursive doubling: log2(P) exchange rounds, 2 sends per rank pair
+        per round => P * log2(P) messages in total."""
+        trace = self._events(ssar_recursive_double)
+        assert trace.total_messages == self.P * 2  # P * log2(4)
+
+    def test_rec_dbl_per_rank_event_shape(self):
+        trace = self._events(ssar_recursive_double)
+        for r in range(self.P):
+            events = trace.events(r)
+            sends = [e for e in events if e.op == SEND]
+            recvs = [e for e in events if e.op == RECV]
+            assert len(sends) == 2  # one per round
+            assert len(recvs) == 2
+            computes = [e for e in events if e.op == COMPUTE]
+            assert len(computes) >= 2  # one summation per round
+            assert all(e.nbytes > 0 for e in sends + recvs)
+
+    def test_split_allgather_has_phase_marks(self):
+        trace = self._events(ssar_split_allgather)
+        labels = {e.label for e in trace.events(0) if e.op == MARK}
+        assert labels  # the algorithm annotates its phases
+        # every rank sends something in both the split and allgather phases
+        for r in range(self.P):
+            assert any(e.op == SEND for e in trace.events(r))
+
+    def test_sends_and_recvs_pair_off_globally(self):
+        trace = self._events(ssar_recursive_double)
+        sends = {}
+        recvs = {}
+        for r in range(self.P):
+            for e in trace.events(r):
+                if e.op == SEND:
+                    sends[(e.rank, e.peer, e.tag, e.seq)] = e.nbytes
+                elif e.op == RECV:
+                    recvs[(e.peer, e.rank, e.tag, e.seq)] = e.nbytes
+        assert sends == recvs  # same channels, same sizes, nothing dangling
+
+    def test_event_objects_are_frozen(self):
+        ev = TraceEvent(SEND, 0, 1, 0, 0, 10)
+        with pytest.raises(AttributeError):
+            ev.nbytes = 20
