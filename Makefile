@@ -1,20 +1,39 @@
 # Developer entry points for the SparCML reproduction.
 #
-#   make test         the tier-1 suite (what CI gates on)
-#   make smoke        fast subset: skips tests with "slow" in their name
-#                     and those marked @pytest.mark.slow
-#   make bench-smoke  a quick pass over the cheapest benchmark figures
-#   make bench        every benchmark table/figure (minutes)
+#   make test               the tier-1 suite (what CI gates on)
+#   make smoke              fast subset (skips "slow" tests) plus a
+#                           one-iteration bench-kernels sanity pass
+#   make bench-kernels      quick wall-clock microkernel/transport/allreduce
+#                           bench; validates the emitted JSON (CI-safe, writes
+#                           to results/, never touches the committed baseline)
+#   make bench-kernels-full full bench refreshing BENCH_microkernels.json at
+#                           the repo root (the committed perf trajectory)
+#   make bench-smoke        a quick pass over the cheapest benchmark figures
+#   make bench              every benchmark table/figure (minutes)
 
 PYTHON ?= python
 
-.PHONY: test smoke bench-smoke bench
+# pytest picks up src/ from pyproject's pythonpath; direct `-m repro`
+# invocations need it on PYTHONPATH explicitly.
+RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
+
+.PHONY: test smoke bench-smoke bench bench-kernels bench-kernels-full
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) -m pytest -x -q -k "not slow" -m "not slow"
+	$(MAKE) bench-kernels
+
+bench-kernels:
+	$(RUN) -m repro bench-kernels --quick --out results/BENCH_microkernels.quick.json
+	$(PYTHON) -c "import json; d = json.load(open('results/BENCH_microkernels.quick.json')); \
+	assert d['schema'] == 1 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	print('bench JSON OK')"
+
+bench-kernels-full:
+	$(RUN) -m repro bench-kernels
 
 bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/test_fig1_fillin.py benchmarks/test_fig7_expected_k.py benchmarks/test_table1_datasets.py

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..quant import QSGDQuantizer, QuantizedBlock
 from ..runtime.comm import Communicator
-from ..streams import SparseStream
+from ..streams import MergeScratch, SparseStream
 from ..streams.ops import SUM, ReduceOp
 from .allgather import allgather_blocks
 from .dense import partition_bounds
@@ -62,7 +62,7 @@ def dsar_split_allgather(
         return out.densify(fill=op.neutral)
     base = comm.next_collective_tag()
     bounds = partition_bounds(stream.dimension, comm.size)
-    reduced = split_phase(comm, stream, bounds, base, op)
+    reduced = split_phase(comm, stream, bounds, base, op, MergeScratch())
 
     # representation switch: this partition is now treated as dense
     lo, hi = int(bounds[comm.rank]), int(bounds[comm.rank + 1])

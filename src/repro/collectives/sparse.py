@@ -27,7 +27,7 @@ import numpy as np
 from ..runtime.comm import Communicator
 from ..streams import SparseStream, add_streams_, concat_disjoint, reduction_work_bytes
 from ..streams.ops import SUM, ReduceOp
-from ..streams.summation import merge_sparse_pairs
+from ..streams.summation import MergeScratch, merge_sparse_pairs
 from .allgather import allgather_blocks
 from .dense import partition_bounds
 
@@ -44,7 +44,10 @@ def slice_stream(stream: SparseStream, lo: int, hi: int) -> SparseStream:
     """Restriction of a sparse stream to global index range ``[lo, hi)``.
 
     Indices stay global, so partition slices remain disjoint and can be
-    re-assembled by concatenation.
+    re-assembled by concatenation. The returned stream holds zero-copy
+    *views* of the input's arrays (safe: every consumer either serializes
+    them onto the wire or merges them into fresh arrays) — slicing a
+    stream into P partitions allocates nothing.
     """
     if stream.is_dense:
         raise ValueError("slice_stream expects a sparse stream")
@@ -88,6 +91,7 @@ def ssar_recursive_double(
     rem = comm.size - pof2
 
     acc = stream.copy()
+    scratch = MergeScratch()  # one merge workspace across all rounds
     newrank = comm.rank
     if rem:
         if comm.rank < 2 * rem:
@@ -97,7 +101,7 @@ def ssar_recursive_double(
                 return result
             incoming = comm.recv(comm.rank - 1, base)
             comm.compute(reduction_work_bytes(acc, incoming), "reduce")
-            add_streams_(acc, incoming, op)
+            add_streams_(acc, incoming, op, scratch=scratch, own_other=True)
             newrank = comm.rank // 2
         else:
             newrank = comm.rank - rem
@@ -109,7 +113,9 @@ def ssar_recursive_double(
         partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
         incoming = comm.sendrecv(acc, partner, base + round_no)
         comm.compute(reduction_work_bytes(acc, incoming), "reduce")
-        add_streams_(acc, incoming, op)
+        # the received stream is ours alone (freshly decoded / copied on
+        # send), so the reduction may adopt its arrays outright
+        add_streams_(acc, incoming, op, scratch=scratch, own_other=True)
         distance *= 2
         round_no += 1
 
@@ -124,6 +130,7 @@ def split_phase(
     bounds: np.ndarray,
     tag: int,
     op: ReduceOp = SUM,
+    scratch: MergeScratch | None = None,
 ) -> SparseStream:
     """The split (reduce-scatter-by-range) phase shared by SSAR/DSAR.
 
@@ -136,6 +143,8 @@ def split_phase(
     """
     P = comm.size
     comm.mark("split")
+    if scratch is None:
+        scratch = MergeScratch()
     requests = []
     for offset in range(1, P):
         dest = (comm.rank + offset) % P
@@ -143,12 +152,16 @@ def split_phase(
         requests.append(comm.isend(piece, dest, tag))
 
     own = slice_stream(stream, int(bounds[comm.rank]), int(bounds[comm.rank + 1]))
+    # the fold starts from owned copies, so every later merge (incoming
+    # pieces are owned too) can run zero-copy on its empty-side fast path
     idx, val = own.indices.copy(), own.values.copy()
     for offset in range(1, P):
         src = (comm.rank - offset) % P
         piece: SparseStream = comm.recv(src, tag)
         comm.compute((idx.size + piece.nnz) * (4 + own.value_dtype.itemsize) * 2, "reduce")
-        idx, val = merge_sparse_pairs(idx, val, piece.indices, piece.values, op)
+        idx, val = merge_sparse_pairs(
+            idx, val, piece.indices, piece.values, op, copy=False, scratch=scratch
+        )
     for req in requests:
         req.wait()
     return SparseStream(
@@ -169,7 +182,7 @@ def ssar_split_allgather(
         return stream.copy()
     base = comm.next_collective_tag()
     bounds = partition_bounds(stream.dimension, comm.size)
-    reduced = split_phase(comm, stream, bounds, base, op)
+    reduced = split_phase(comm, stream, bounds, base, op, MergeScratch())
     comm.mark("allgather")
     pieces = allgather_blocks(comm, reduced, base + 1)
     comm.compute(
@@ -198,6 +211,7 @@ def ssar_ring(comm: Communicator, stream: SparseStream, op: ReduceOp = SUM) -> S
     right = (comm.rank + 1) % P
     left = (comm.rank - 1) % P
 
+    scratch = MergeScratch()  # one merge workspace across all ring steps
     for step in range(P - 1):
         send_block = (comm.rank - step) % P
         recv_block = (comm.rank - step - 1) % P
@@ -206,8 +220,11 @@ def ssar_ring(comm: Communicator, stream: SparseStream, op: ReduceOp = SUM) -> S
         req.wait()
         acc = slices[recv_block]
         comm.compute(reduction_work_bytes(acc, incoming), "reduce")
+        # copy=False: the merged block is never mutated in place, only
+        # re-sliced/concatenated, so view-aliasing on empty sides is safe
         idx, val = merge_sparse_pairs(
-            acc.indices, acc.values, incoming.indices, incoming.values, op
+            acc.indices, acc.values, incoming.indices, incoming.values, op,
+            copy=False, scratch=scratch,
         )
         slices[recv_block] = SparseStream(
             stream.dimension, indices=idx, values=val,

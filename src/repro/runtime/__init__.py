@@ -5,7 +5,7 @@ The runtime is split into a backend-neutral core and pluggable backends:
 * :mod:`~repro.runtime.comm` — the :class:`Communicator` interface all
   collectives are written against;
 * :mod:`~repro.runtime.backend` — the :class:`Backend` abstraction and
-  registry (``"thread"`` and ``"process"`` ship built in);
+  registry (``"thread"``, ``"process"`` and ``"shmem"`` ship built in);
 * :mod:`~repro.runtime.launcher` — :func:`run_ranks`, the ``mpiexec``
   analog, with a ``backend=`` selector;
 * :mod:`~repro.runtime.trace` / :mod:`~repro.runtime.nonblocking` —
@@ -33,6 +33,7 @@ from .comm import (
 from .launcher import run_ranks
 from .nonblocking import NonBlockingHandle, i_collective
 from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
+from .shmem_backend import SharedRing, ShmemBackend, ShmemComm, ShmemWorld
 from .thread_backend import ThreadBackend, ThreadComm, ThreadWorld
 from .trace import COMPUTE, MARK, RECV, SEND, Trace, TraceEvent
 
@@ -59,6 +60,10 @@ __all__ = [
     "ProcessBackend",
     "ProcessComm",
     "ProcessWorld",
+    "ShmemBackend",
+    "ShmemComm",
+    "ShmemWorld",
+    "SharedRing",
     "WorldAbortedError",
     "Trace",
     "TraceEvent",

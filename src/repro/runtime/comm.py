@@ -10,7 +10,9 @@ implementations, selected by the ``backend=`` argument of
 * :mod:`repro.runtime.thread_backend` — one thread per rank, shared
   mailboxes (fast, in-process);
 * :mod:`repro.runtime.process_backend` — one OS process per rank with
-  real serialized transport over pipes.
+  real serialized transport over pipes;
+* :mod:`repro.runtime.shmem_backend` — one OS process per rank with
+  zero-copy shared-memory ring transport (the fast real transport).
 
 Layering
 --------
@@ -98,6 +100,17 @@ class Mailbox:
                     raise WorldAbortedError("another rank failed; aborting recv")
                 self.cond.wait(timeout=_ABORT_POLL_S)
             return self.items.popleft()
+
+    def pop_nowait(self) -> tuple[Any, int, int] | None:
+        """The next message, or None — for callers that drive progress."""
+        with self.cond:
+            return self.items.popleft() if self.items else None
+
+    def wait(self, timeout: float) -> None:
+        """Sleep until a message may be available (or ``timeout`` passes)."""
+        with self.cond:
+            if not self.items:
+                self.cond.wait(timeout=timeout)
 
     def has_items(self) -> bool:
         with self.cond:

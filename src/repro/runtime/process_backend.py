@@ -45,7 +45,7 @@ from .comm import Communicator, Mailbox, MailboxRegistry, WorldAbortedError
 from .trace import RECV, SEND, Trace, TraceEvent
 from .wire import decode_message, encode_message
 
-__all__ = ["ProcessBackend", "ProcessComm", "ProcessWorld"]
+__all__ = ["MeshComm", "ProcessBackend", "ProcessComm", "ProcessWorld", "PumpedComm"]
 
 #: preferred start method: fork keeps closures usable as rank functions and
 #: is cheap; on platforms without it we fall back to spawn (rank functions
@@ -62,7 +62,71 @@ _ERROR_GRACE_S = 1.0
 _FIN_TAG = -1
 
 
-class ProcessComm(Communicator):
+class MeshComm(Communicator):
+    """Mailbox-buffered mesh communicator base of the process-family backends.
+
+    Incoming traffic lands in per-(source, tag) FIFO mailboxes; sequence
+    numbers are allocated sender-side against the worker-local trace
+    (only this rank sends on a (rank, dest, tag) channel, so local
+    counters are the truth). Who *fills* the mailboxes differs per
+    transport: pipe transports need pump threads (:class:`PumpedComm`),
+    the shared-memory ring transport drives an inline progress engine.
+    """
+
+    def _init_mesh(self, rank: int, size: int, trace: Trace) -> None:
+        self.rank = rank
+        self.size = size
+        self.trace = trace
+        self._collective_counter = 0
+        self._mailboxes = MailboxRegistry()
+        self.aborted = threading.Event()
+
+    def _mailbox(self, src: int, tag: int) -> Mailbox:
+        return self._mailboxes.get((src, tag))
+
+    def _abort(self) -> None:
+        self.aborted.set()
+        self._mailboxes.wake_all()
+
+    # ------------------------------------------------------------------
+    # transport hooks (send stays subclass-specific)
+    # ------------------------------------------------------------------
+    def _alloc_seq(self, dest: int, tag: int) -> int:
+        return self.trace.next_seq(self.rank, dest, tag)
+
+    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
+        return self._mailbox(source, tag).get(self.aborted)
+
+    def _probe(self, source: int, tag: int) -> bool:
+        return self._mailbox(source, tag).has_items()
+
+
+class PumpedComm(MeshComm):
+    """Mesh communicator whose mailboxes are fed by receiver threads.
+
+    One daemon *pump* thread per peer drains that peer's inbound channel
+    (the MPI progress-engine stand-in), so a blocking peer send can never
+    deadlock against an unread transport buffer. Subclasses (the pipe
+    transport here; a future socket transport would fit too) provide the
+    channel type, the pump body and the outbound send.
+    """
+
+    def _init_mesh(self, rank: int, size: int, trace: Trace) -> None:
+        super()._init_mesh(rank, size, trace)
+        self._receivers: list[threading.Thread] = []
+
+    def _start_pump(self, src: int, channel: Any) -> None:
+        t = threading.Thread(
+            target=self._pump, args=(src, channel), name=f"recv-{src}->{self.rank}", daemon=True
+        )
+        t.start()
+        self._receivers.append(t)
+
+    def _pump(self, src: int, channel: Any) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ProcessComm(PumpedComm):
     """Per-rank communicator of one worker process.
 
     ``out_conns[d]`` / ``in_conns[s]`` are this rank's pipe ends to and from
@@ -77,42 +141,44 @@ class ProcessComm(Communicator):
         in_conns: list[Connection | None],
         trace: Trace,
     ) -> None:
-        self.rank = rank
-        self.size = size
-        self.trace = trace
+        self._init_mesh(rank, size, trace)
         self._out_conns = out_conns
         self._out_locks = [threading.Lock() if c is not None else None for c in out_conns]
-        self._collective_counter = 0
-        self._mailboxes = MailboxRegistry()
-        self.aborted = threading.Event()
-        self._receivers = []
         for src, conn in enumerate(in_conns):
-            if conn is None:
-                continue
-            t = threading.Thread(
-                target=self._pump, args=(src, conn), name=f"recv-{src}->{rank}", daemon=True
-            )
-            t.start()
-            self._receivers.append(t)
+            if conn is not None:
+                self._start_pump(src, conn)
 
     # ------------------------------------------------------------------
     # inbound progress engine
     # ------------------------------------------------------------------
-    def _mailbox(self, src: int, tag: int) -> Mailbox:
-        return self._mailboxes.get((src, tag))
-
     def _pump(self, src: int, conn: Connection) -> None:
-        """Receiver thread: drain one peer's pipe into the mailboxes."""
+        """Receiver thread: drain one peer's pipe into the mailboxes.
+
+        Frames are read with ``recv_bytes_into`` into one reusable buffer
+        (grown geometrically on demand), so steady-state receive performs
+        no per-message bytes allocation — the only fresh buffers are the
+        decoded arrays themselves.
+        """
+        buf = bytearray(1 << 16)
         while True:
             try:
-                blob = conn.recv_bytes()
+                try:
+                    n = conn.recv_bytes_into(buf)
+                    frame: Any = memoryview(buf)[:n]
+                except mp.BufferTooShort as exc:
+                    # the oversized message arrives complete in the exception;
+                    # grow the scratch buffer so the next one fits in place
+                    frame = exc.args[0]
+                    buf = bytearray(max(len(frame), 2 * len(buf)))
             except (EOFError, OSError):
                 # EOF with no FIN first: the peer died mid-run. Wake anyone
                 # blocked on its (or anyone's) traffic so the rank unwinds.
                 self._abort()
                 return
             try:
-                tag, seq, nbytes, payload = decode_message(blob)
+                # copy=True (default): the scratch buffer is reused, so the
+                # decoded arrays must own their memory
+                tag, seq, nbytes, payload = decode_message(frame)
             except Exception:
                 # undecodable frame (e.g. a payload whose pickle references a
                 # class this process cannot import): fail fast instead of
@@ -135,18 +201,6 @@ class ProcessComm(Communicator):
             except (BrokenPipeError, OSError):  # peer already gone
                 pass
 
-    def _abort(self) -> None:
-        self.aborted.set()
-        self._mailboxes.wake_all()
-
-    # ------------------------------------------------------------------
-    # transport hooks
-    # ------------------------------------------------------------------
-    def _alloc_seq(self, dest: int, tag: int) -> int:
-        # sender-side allocation against the worker-local trace: only this
-        # rank sends on (rank, dest, tag), so local counters are the truth
-        return self.trace.next_seq(self.rank, dest, tag)
-
     def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
         blob = encode_message(tag, seq, nbytes, obj)
         conn = self._out_conns[dest]
@@ -157,12 +211,6 @@ class ProcessComm(Communicator):
         except (BrokenPipeError, OSError) as exc:
             self._abort()
             raise WorldAbortedError(f"rank {dest} is gone; send failed") from exc
-
-    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
-        return self._mailbox(source, tag).get(self.aborted)
-
-    def _probe(self, source: int, tag: int) -> bool:
-        return self._mailbox(source, tag).has_items()
 
 
 class ProcessWorld:

@@ -1,7 +1,8 @@
-"""Wire format of the process backend: real serialized message framing.
+"""Wire format of the process-family backends: serialized message framing.
 
-Every message the :mod:`~repro.runtime.process_backend` moves between rank
-processes is one byte blob::
+Every message the :mod:`~repro.runtime.process_backend` and
+:mod:`~repro.runtime.shmem_backend` move between rank processes is one
+byte frame::
 
     <frame header: tag, seq, nbytes>  <payload>
 
@@ -13,9 +14,21 @@ by the dimension, dtype and the raw index/value buffers. Everything else
 streams) falls back to pickle — the transport is "pickle over pipe" with a
 binary stream format where it matters for fidelity.
 
-Decoded arrays are always fresh writable copies, so the process backend
-gets MPI's independent-buffer guarantee directly from (de)serialization —
-no explicit payload copy is needed on send.
+Allocation discipline
+---------------------
+The encoder is *vectored*: :func:`encode_frame_parts` returns the frame as
+a list of buffer segments — a small header plus direct (zero-copy) views
+of the stream's index/value arrays.  Transports that can scatter/gather
+(the shared-memory ring backend) write the parts straight into their
+destination with no intermediate blob; the pipe transport joins them into
+one preallocated ``bytearray``, so every payload byte is copied exactly
+once on the way out.
+
+The decoder reads arrays with ``np.frombuffer(view, offset=...)``: with
+``copy=True`` (the default) each array is materialised with a single copy
+out of the source buffer, giving the receiver MPI's independent-buffer
+guarantee; with ``copy=False`` the arrays are *views* into the caller's
+buffer — valid only as long as that buffer is, and writable only if it is.
 """
 
 from __future__ import annotations
@@ -34,12 +47,18 @@ __all__ = [
     "decode_message",
     "encode_payload",
     "decode_payload",
+    "encode_payload_parts",
+    "encode_frame_parts",
+    "FRAME_HEADER_SIZE",
     "FLAG_SPARSE",
     "FLAG_DENSE",
 ]
 
 #: frame header: tag (q), seq (q), accounted wire bytes (q).
 _FRAME = struct.Struct("<qqq")
+
+#: size of the frame header in bytes (transports size their buffers with it).
+FRAME_HEADER_SIZE = _FRAME.size
 
 #: payload kind discriminator (one byte).
 _KIND_PICKLE = 0
@@ -61,63 +80,128 @@ _DTYPE_CODES = {
 _CODE_DTYPES = {code: dt for dt, code in _DTYPE_CODES.items()}
 
 
+def _array_buffer(arr: np.ndarray):
+    """A zero-copy byte view of ``arr``'s buffer (copies only if needed)."""
+    if arr.flags.c_contiguous:
+        return memoryview(arr).cast("B")
+    return arr.tobytes()  # non-contiguous: no byte view exists
+
+
+# ----------------------------------------------------------------------
+# vectored encode
+# ----------------------------------------------------------------------
+def encode_payload_parts(obj: Any) -> tuple[int, list]:
+    """Serialize one payload as ``(total_bytes, [buffer, ...])``.
+
+    Stream payloads come back as a small header plus direct views of the
+    index/value arrays — nothing is copied here. Everything else is one
+    pickle blob. Transports copy each part exactly once, into the pipe
+    blob or straight into the shared-memory ring.
+    """
+    if isinstance(obj, SparseStream):
+        wire = float("nan") if obj.value_wire_bytes is None else float(obj.value_wire_bytes)
+        dtype_code = _DTYPE_CODES[obj.value_dtype]
+        if obj.is_dense:
+            payload = obj.dense_payload
+            header = bytes([_KIND_STREAM]) + _STREAM_HEADER.pack(
+                FLAG_DENSE, obj.dimension, payload.size, dtype_code, wire
+            )
+            parts = [header, _array_buffer(payload)]
+        else:
+            header = bytes([_KIND_STREAM]) + _STREAM_HEADER.pack(
+                FLAG_SPARSE, obj.dimension, obj.nnz, dtype_code, wire
+            )
+            parts = [header, _array_buffer(obj.indices), _array_buffer(obj.values)]
+    else:
+        parts = [
+            bytes([_KIND_PICKLE]),
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+        ]
+    return sum(len(p) for p in parts), parts
+
+
+def encode_frame_parts(tag: int, seq: int, nbytes: int, obj: Any) -> tuple[int, list]:
+    """One framed message as ``(total_bytes, [buffer, ...])`` (vectored)."""
+    payload_len, parts = encode_payload_parts(obj)
+    return FRAME_HEADER_SIZE + payload_len, [_FRAME.pack(tag, seq, nbytes), *parts]
+
+
 def encode_payload(obj: Any) -> bytes:
     """Serialize one payload (stream fast path, pickle fallback)."""
-    if isinstance(obj, SparseStream):
-        return bytes([_KIND_STREAM]) + _encode_stream(obj)
-    return bytes([_KIND_PICKLE]) + pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    total, parts = encode_payload_parts(obj)
+    return b"".join(bytes(p) if isinstance(p, memoryview) else p for p in parts)
 
 
-def decode_payload(blob: bytes | memoryview) -> Any:
-    """Inverse of :func:`encode_payload`."""
+def encode_message(tag: int, seq: int, nbytes: int, obj: Any) -> bytearray:
+    """Frame one point-to-point message for a byte-stream transport.
+
+    Gathers the vectored parts into a single preallocated ``bytearray``
+    (accepted by ``Connection.send_bytes``), so each payload byte is
+    copied exactly once — no ``tobytes()`` staging, no ``+`` chains.
+    """
+    total, parts = encode_frame_parts(tag, seq, nbytes, obj)
+    out = bytearray(total)
+    pos = 0
+    for part in parts:
+        n = len(part)
+        out[pos:pos + n] = part
+        pos += n
+    return out
+
+
+# ----------------------------------------------------------------------
+# decode
+# ----------------------------------------------------------------------
+def decode_payload(blob: bytes | bytearray | memoryview, copy: bool = True) -> Any:
+    """Inverse of :func:`encode_payload`.
+
+    With ``copy=True`` decoded arrays are fresh writable buffers; with
+    ``copy=False`` stream payloads are zero-copy views into ``blob``
+    (read-only when ``blob`` is) — the shared-memory fast path.
+    """
     view = memoryview(blob)
     kind = view[0]
-    body = view[1:]
     if kind == _KIND_STREAM:
-        return _decode_stream(body)
+        return _decode_stream(view, copy)
     if kind == _KIND_PICKLE:
-        return pickle.loads(body)
+        return pickle.loads(view[1:])
     raise ValueError(f"corrupt payload: unknown kind byte {kind}")
 
 
-def encode_message(tag: int, seq: int, nbytes: int, obj: Any) -> bytes:
-    """Frame one point-to-point message for the pipe."""
-    return _FRAME.pack(tag, seq, nbytes) + encode_payload(obj)
-
-
-def decode_message(blob: bytes) -> tuple[int, int, int, Any]:
+def decode_message(
+    blob: bytes | bytearray | memoryview, copy: bool = True
+) -> tuple[int, int, int, Any]:
     """Returns ``(tag, seq, nbytes, payload)``."""
     tag, seq, nbytes = _FRAME.unpack_from(blob)
-    return tag, seq, nbytes, decode_payload(memoryview(blob)[_FRAME.size:])
+    return tag, seq, nbytes, decode_payload(memoryview(blob)[FRAME_HEADER_SIZE:], copy)
 
 
 # ----------------------------------------------------------------------
 # SparseStream <-> bytes (§5.1 buffer layout)
 # ----------------------------------------------------------------------
-def _encode_stream(s: SparseStream) -> bytes:
-    dtype_code = _DTYPE_CODES[s.value_dtype]
-    wire = float("nan") if s.value_wire_bytes is None else float(s.value_wire_bytes)
-    if s.is_dense:
-        payload = s.dense_payload
-        header = _STREAM_HEADER.pack(FLAG_DENSE, s.dimension, payload.size, dtype_code, wire)
-        return header + payload.tobytes()
-    header = _STREAM_HEADER.pack(FLAG_SPARSE, s.dimension, s.nnz, dtype_code, wire)
-    return header + s.indices.tobytes() + s.values.tobytes()
+def _read_array(
+    view: memoryview, offset: int, dtype: np.dtype, count: int, copy: bool
+) -> np.ndarray:
+    """One array out of ``view`` — a single copy, or a zero-copy view."""
+    arr = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+    return arr.copy() if copy else arr
 
 
-def _decode_stream(view: memoryview) -> SparseStream:
-    flag, dimension, count, dtype_code, wire = _STREAM_HEADER.unpack_from(view)
+def _decode_stream(view: memoryview, copy: bool = True) -> SparseStream:
+    # view[0] is the kind byte; the §5.1 stream header starts right after
+    flag, dimension, count, dtype_code, wire = _STREAM_HEADER.unpack_from(view, 1)
     value_dtype = _CODE_DTYPES[bytes(dtype_code)]
-    body = view[_STREAM_HEADER.size:]
+    body = 1 + _STREAM_HEADER.size
     if flag == FLAG_DENSE:
-        dense = np.frombuffer(body, dtype=value_dtype, count=count).copy()
+        dense = _read_array(view, body, value_dtype, count, copy)
         out = SparseStream(dimension, dense=dense, value_dtype=value_dtype, copy=False)
     elif flag == FLAG_SPARSE:
         from ..config import INDEX_DTYPE
 
-        idx_bytes = count * INDEX_DTYPE.itemsize
-        indices = np.frombuffer(body[:idx_bytes], dtype=INDEX_DTYPE).copy()
-        values = np.frombuffer(body[idx_bytes:], dtype=value_dtype, count=count).copy()
+        indices = _read_array(view, body, INDEX_DTYPE, count, copy)
+        values = _read_array(
+            view, body + count * INDEX_DTYPE.itemsize, value_dtype, count, copy
+        )
         out = SparseStream(
             dimension, indices=indices, values=values, value_dtype=value_dtype, copy=False
         )

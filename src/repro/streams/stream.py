@@ -304,6 +304,21 @@ class SparseStream:
             return False
         return self.nnz + extra_nnz > self.delta
 
+    def set_pairs(self, indices: np.ndarray, values: np.ndarray) -> "SparseStream":
+        """Adopt sparse pair arrays in place — trusted, zero-copy.
+
+        The hot-path counterpart of building a new stream with
+        ``copy=False``: the reduction kernels replace a stream's payload
+        every round and reuse the stream object. ``indices`` must already
+        be sorted unique :data:`~repro.config.INDEX_DTYPE` and ``values``
+        aligned with them in this stream's value dtype; no validation is
+        performed.
+        """
+        self._indices = indices
+        self._values = values
+        self._dense = None
+        return self
+
     # ------------------------------------------------------------------
     # arithmetic helpers (the heavy lifting lives in streams.summation)
     # ------------------------------------------------------------------

@@ -1,11 +1,14 @@
-"""User-facing experiment tooling: sweeps and the ``python -m repro`` CLI."""
+"""User-facing experiment tooling: sweeps, the perf harness and the CLI."""
 
+from .benchkernels import run_bench, write_bench
 from .cli import build_parser, main
 from .sweeps import ALGORITHM_SET, SweepPoint, sweep_densities, sweep_node_counts
 
 __all__ = [
     "build_parser",
     "main",
+    "run_bench",
+    "write_bench",
     "ALGORITHM_SET",
     "SweepPoint",
     "sweep_densities",

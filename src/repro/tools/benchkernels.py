@@ -1,0 +1,326 @@
+"""Wall-clock perf harness: ``python -m repro bench-kernels``.
+
+Times the library's hot paths with real clocks (no replay model) and
+writes the results as one JSON document, ``BENCH_microkernels.json`` at
+the repo root by default, so successive PRs have a numeric trajectory to
+diff against. Three layers are measured:
+
+``microkernels``
+    the §5.1 summation kernels (sparse merge with and without a reused
+    :class:`~repro.streams.MergeScratch`, in-place stream addition) and
+    the wire codec (vectored encode, single-copy decode);
+``transport``
+    per-backend point-to-point round-trip latency of a sparse stream
+    between two real ranks — the purest backend comparison (the
+    ``process``/``shmem`` gap is the pipe-vs-shared-memory story);
+``allreduce``
+    per-backend, per-algorithm end-to-end sparse allreduce time at the
+    paper's micro-benchmark shape (N = 2^20, uniform random support)
+    across densities, measured as sustained back-to-back operations
+    inside the ranks (robust to barrier skew and process start-up).
+
+Every measurement reports ``best`` (minimum) and ``median`` seconds.
+``--quick`` shrinks sizes and iteration counts to a few seconds total for
+CI smoke use; the committed baseline is produced by a full run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..collectives import (
+    ssar_recursive_double,
+    ssar_ring,
+    ssar_split_allgather,
+)
+from ..runtime import run_ranks
+from ..runtime.wire import decode_message, encode_message
+from ..streams import MergeScratch, SparseStream, add_streams_, merge_sparse_pairs
+
+__all__ = ["run_bench", "write_bench", "DEFAULT_OUT"]
+
+#: schema version of the JSON document (bump on layout changes).
+SCHEMA = 1
+
+#: repo root (src/repro/tools/ -> three levels up).
+DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_microkernels.json"
+
+ALGOS = {
+    "ssar_rec_dbl": ssar_recursive_double,
+    "ssar_split_ag": ssar_split_allgather,
+    "ssar_ring": ssar_ring,
+}
+
+
+def _stats(samples: list[float]) -> dict[str, float]:
+    arr = np.asarray(samples, dtype=float)
+    return {"best_s": float(arr.min()), "median_s": float(np.median(arr)), "n": int(arr.size)}
+
+
+def _time(fn: Callable[[], Any], iters: int, warmup: int = 2) -> dict[str, float]:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return _stats(samples)
+
+
+# ----------------------------------------------------------------------
+# layer 1: microkernels
+# ----------------------------------------------------------------------
+def _time_add_streams(a: SparseStream, b: SparseStream, scratch: MergeScratch, iters: int) -> dict[str, float]:
+    """Time the in-place add alone: the fresh accumulator each iteration
+    needs is prepared *outside* the clocked window."""
+    samples = []
+    for _ in range(iters + 2):
+        acc = a.copy()
+        t0 = time.perf_counter()
+        add_streams_(acc, b, scratch=scratch)
+        samples.append(time.perf_counter() - t0)
+    return _stats(samples[2:])  # first two are warmup
+
+
+def _bench_microkernels(dimension: int, nnz: int, iters: int) -> dict[str, Any]:
+    gen = np.random.default_rng(11)
+    a = SparseStream.random_uniform(dimension, nnz, gen)
+    b = SparseStream.random_uniform(dimension, nnz, gen)
+    scratch = MergeScratch()
+    blob = bytes(encode_message(1, 0, a.nbytes_payload, a))
+
+    out: dict[str, Any] = {
+        "merge_sparse_pairs": _time(
+            lambda: merge_sparse_pairs(a.indices, a.values, b.indices, b.values), iters
+        ),
+        "merge_sparse_pairs_scratch": _time(
+            lambda: merge_sparse_pairs(
+                a.indices, a.values, b.indices, b.values, scratch=scratch
+            ),
+            iters,
+        ),
+        "add_streams_sparse_sparse": _time_add_streams(a, b, scratch, iters),
+        "encode_message_stream": _time(
+            lambda: encode_message(1, 0, a.nbytes_payload, a), iters
+        ),
+        "decode_message_stream": _time(lambda: decode_message(blob), iters),
+        "decode_message_stream_zero_copy": _time(
+            lambda: decode_message(blob, copy=False), iters
+        ),
+    }
+    out["params"] = {"dimension": dimension, "nnz": nnz, "wire_bytes": len(blob)}
+    return out
+
+
+# ----------------------------------------------------------------------
+# layer 2: transport round trip (module-level so spawn platforms work)
+# ----------------------------------------------------------------------
+def _pingpong_rank(comm, dimension: int, nnz: int, iters: int):
+    gen = np.random.default_rng(7)
+    s = SparseStream.random_uniform(dimension, nnz, gen)
+    peer = 1 - comm.rank
+    def once():
+        if comm.rank == 0:
+            comm.send(s, peer, tag=2)
+            comm.recv(peer, tag=2)
+        else:
+            comm.recv(peer, tag=2)
+            comm.send(s, peer, tag=2)
+    for _ in range(3):
+        once()
+    samples = []
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        once()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _bench_transport(
+    backends: list[str], dimension: int, nnz_list: list[int], iters: int
+) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for backend in backends:
+        if backend == "thread":
+            continue  # in-process: no transport to speak of; e2e covers it
+        per_size = {}
+        for nnz in nnz_list:
+            res = run_ranks(
+                _pingpong_rank, 2, dimension, nnz, iters, backend=backend, timeout=300.0
+            )
+            per_size[f"nnz_{nnz}"] = _stats(res[0])
+        out[backend] = per_size
+    return out
+
+
+# ----------------------------------------------------------------------
+# layer 3: end-to-end allreduce
+# ----------------------------------------------------------------------
+def _allreduce_rank(comm, algo_name: str, dimension: int, nnz: int, iters: int):
+    algo = ALGOS[algo_name]
+    gen = np.random.default_rng(100 + comm.rank)
+    s = SparseStream.random_uniform(dimension, nnz, gen)
+    for _ in range(2):
+        algo(comm, s)
+    comm.barrier()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        algo(comm, s)
+    comm.barrier()
+    return (time.perf_counter() - t0) / iters
+
+
+def _bench_allreduce(
+    backends: list[str],
+    algos: list[str],
+    dimension: int,
+    densities: list[float],
+    nranks: int,
+    iters: int,
+    repeats: int,
+) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for backend in backends:
+        per_algo: dict[str, Any] = {}
+        for algo in algos:
+            per_density = {}
+            for density in densities:
+                nnz = max(1, int(round(dimension * density)))
+                samples = []
+                for _ in range(repeats):
+                    res = run_ranks(
+                        _allreduce_rank, nranks, algo, dimension, nnz, iters,
+                        backend=backend, timeout=600.0,
+                    )
+                    samples.append(max(res.results))  # slowest rank = op latency
+                per_density[f"density_{density:g}"] = _stats(samples)
+            per_algo[algo] = per_density
+        out[backend] = per_algo
+    return out
+
+
+# ----------------------------------------------------------------------
+# harness entry points
+# ----------------------------------------------------------------------
+def run_bench(
+    quick: bool = False,
+    *,
+    dimension: int | None = None,
+    densities: list[float] | None = None,
+    nranks: int | None = None,
+    backends: list[str] | None = None,
+    algos: list[str] | None = None,
+) -> dict[str, Any]:
+    """Execute every layer and return the JSON-ready result document."""
+    if quick:
+        dimension = dimension or (1 << 16)
+        densities = densities or [0.01]
+        nranks = nranks or 2
+        micro_iters, rt_iters, e2e_iters, repeats = 3, 3, 1, 1
+        rt_sizes = [max(1, dimension // 100)]
+    else:
+        dimension = dimension or (1 << 20)
+        densities = densities or [0.001, 0.01, 0.05]
+        nranks = nranks or 4
+        micro_iters, rt_iters, e2e_iters, repeats = 30, 40, 15, 3
+        rt_sizes = [1311, 10486, 41943]  # ~10 KB / ~84 KB / ~335 KB frames
+    backends = backends or ["thread", "process", "shmem"]
+    algos = algos or sorted(ALGOS)
+    headline_nnz = int(round(dimension * 0.01))
+
+    doc: dict[str, Any] = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "params": {
+            "dimension": dimension,
+            "densities": densities,
+            "nranks": nranks,
+            "backends": backends,
+            "algorithms": algos,
+            "cpu_count": __import__("os").cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "microkernels": _bench_microkernels(dimension, headline_nnz, micro_iters),
+        "transport_roundtrip": _bench_transport(backends, dimension, rt_sizes, rt_iters),
+        "allreduce": _bench_allreduce(
+            backends, algos, dimension, densities, nranks, e2e_iters, repeats
+        ),
+    }
+
+    # headline comparison: shmem vs process at the reference point
+    # (N = 2^20 in full mode, density 1 %): end-to-end per algorithm plus
+    # the transport round trip at the closest measured frame size
+    headline: dict[str, Any] = {}
+    allreduce = doc["allreduce"]
+    key = f"density_{0.01:g}"
+    if "process" in allreduce and "shmem" in allreduce:
+        for algo in algos:
+            p = allreduce["process"][algo].get(key)
+            s = allreduce["shmem"][algo].get(key)
+            if p and s:
+                headline[f"e2e_{algo}_speedup_shmem_vs_process"] = round(
+                    p["best_s"] / s["best_s"], 3
+                )
+    transport = doc["transport_roundtrip"]
+    if "process" in transport and "shmem" in transport:
+        for size_key in transport["process"]:
+            p, s = transport["process"][size_key], transport["shmem"][size_key]
+            headline[f"transport_{size_key}_speedup_shmem_vs_process"] = round(
+                p["median_s"] / s["median_s"], 3
+            )
+    doc["headline"] = headline
+    return doc
+
+
+def write_bench(doc: dict[str, Any], out_path: str | Path | None = None) -> Path:
+    path = Path(out_path) if out_path is not None else DEFAULT_OUT
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def render_summary(doc: dict[str, Any]) -> str:
+    """Human-readable digest of a bench document (for the CLI)."""
+    lines = []
+    p = doc["params"]
+    lines.append(
+        f"bench-kernels  N={p['dimension']}  P={p['nranks']}  "
+        f"quick={doc['quick']}  cpus={p.get('cpu_count')}"
+    )
+    mk = doc["microkernels"]
+    lines.append("microkernels (best):")
+    for name, st in mk.items():
+        if name == "params":
+            continue
+        lines.append(f"  {name:34s} {st['best_s'] * 1e6:9.1f}us")
+    tr = doc.get("transport_roundtrip", {})
+    if tr:
+        lines.append("transport round trip, 2 ranks (median):")
+        sizes = next(iter(tr.values())).keys()
+        for size_key in sizes:
+            row = "  ".join(
+                f"{bk}={tr[bk][size_key]['median_s'] * 1e6:8.1f}us" for bk in tr
+            )
+            lines.append(f"  {size_key:12s} {row}")
+    lines.append("allreduce end-to-end (best, per op):")
+    for bk, per_algo in doc["allreduce"].items():
+        for algo, per_d in per_algo.items():
+            row = "  ".join(
+                f"{dk.split('_', 1)[1]}={st['best_s'] * 1e3:8.2f}ms"
+                for dk, st in per_d.items()
+            )
+            lines.append(f"  {bk:8s} {algo:14s} {row}")
+    if doc.get("headline"):
+        lines.append("headline speedups (shmem vs process):")
+        for k, v in doc["headline"].items():
+            lines.append(f"  {k:48s} {v:.2f}x")
+    return "\n".join(lines)

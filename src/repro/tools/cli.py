@@ -6,9 +6,12 @@ Commands
 ``sweep-density``   reduction time vs per-node density (Fig. 3 right shape)
 ``expected-k``      the App. B fill-in table (Fig. 7)
 ``presets``         show the network model presets
+``bench-kernels``   wall-clock microkernel + transport + allreduce bench,
+                    written to ``BENCH_microkernels.json`` (perf trajectory)
 
 All output is plain ASCII tables; every experiment is deterministic given
-``--seed``.
+``--seed`` (``bench-kernels`` measures real wall clocks and is therefore
+machine-dependent by design).
 """
 
 from __future__ import annotations
@@ -96,6 +99,25 @@ def build_parser() -> argparse.ArgumentParser:
     ek.add_argument("--k-values", type=int, nargs="+", default=[1, 4, 16, 64, 128, 256])
     ek.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16, 32, 64])
 
+    bench = sub.add_parser(
+        "bench-kernels",
+        help="time merge/encode/decode microkernels and per-backend allreduce",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small sizes, one repeat: a seconds-long smoke pass",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_microkernels.json at the repo root)",
+    )
+    bench.add_argument("--dimension", type=int, default=None)
+    bench.add_argument("--densities", type=float, nargs="+", default=None)
+    bench.add_argument("--nranks", type=int, default=None)
+    bench.add_argument(
+        "--backends", nargs="+", choices=available_backends(), default=None
+    )
+
     sub.add_parser("presets", help="show network model presets")
     return parser
 
@@ -118,6 +140,21 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             row = [str(k)] + [f"{expected_union_size(k, n, p):.1f}" for p in args.nodes]
             print("  ".join(v.ljust(8) for v in row))
+        return 0
+
+    if args.command == "bench-kernels":
+        from .benchkernels import render_summary, run_bench, write_bench
+
+        doc = run_bench(
+            quick=args.quick,
+            dimension=args.dimension,
+            densities=args.densities,
+            nranks=args.nranks,
+            backends=args.backends,
+        )
+        path = write_bench(doc, args.out)
+        print(render_summary(doc))
+        print(f"\nwrote {path}")
         return 0
 
     if args.command == "sweep-nodes":

@@ -1,9 +1,11 @@
-"""Backend-parametrized equivalence layer: every collective, both backends.
+"""Backend-parametrized equivalence layer: every collective, every backend.
 
-The contract of the pluggable runtime (ISSUE 1) is that the thread and
-process backends are *indistinguishable* to the algorithms: same results
-bit for bit, same trace byte/message accounting. These tests pin that down
-for every collective in :mod:`repro.collectives` at P in {1, 2, 3, 4, 8}.
+The contract of the pluggable runtime (ISSUE 1) is that the backends are
+*indistinguishable* to the algorithms: same results bit for bit, same
+trace byte/message accounting. These tests pin that down for every
+collective in :mod:`repro.collectives` at P in {1, 2, 3, 4, 8}, with the
+thread backend as the reference each real-transport backend (``process``
+pipes, ``shmem`` shared-memory rings) is held to.
 """
 
 import numpy as np
@@ -26,7 +28,7 @@ from repro.streams import SparseStream
 
 from conftest import make_rank_stream, reference_sum
 
-BACKENDS = ["thread", "process"]
+BACKENDS = ["thread", "process", "shmem"]
 WORLD_SIZES = [1, 2, 3, 4, 8]
 
 SPARSE_ALGOS = {
@@ -50,10 +52,10 @@ def _run_sparse(algo, nranks, backend):
     )
 
 
-def test_both_backends_registered():
+def test_all_backends_registered():
     assert set(BACKENDS) <= set(available_backends())
-    assert get_backend("thread").name == "thread"
-    assert get_backend("process").name == "process"
+    for name in BACKENDS:
+        assert get_backend(name).name == name
     with pytest.raises(ValueError, match="unknown backend"):
         get_backend("mpi")
 
@@ -62,24 +64,30 @@ def test_both_backends_registered():
 @pytest.mark.parametrize("name,algo", sorted(SPARSE_ALGOS.items()))
 class TestSparseCollectiveEquivalence:
     def test_backends_bit_identical(self, name, algo, nranks):
-        """Thread and process runs agree bit for bit, on every rank."""
+        """All backends agree bit for bit with each other, on every rank."""
         by_backend = {b: _run_sparse(algo, nranks, b) for b in BACKENDS}
         ref = reference_sum(DIM, NNZ, nranks)
-        thread_out, process_out = by_backend["thread"], by_backend["process"]
-        for r in range(nranks):
-            t, p = thread_out[r].to_dense(), process_out[r].to_dense()
-            assert np.array_equal(t, p), f"{name} P={nranks} rank {r} differs across backends"
-            assert np.allclose(t, ref, atol=1e-4)
-            assert thread_out[r].is_dense == process_out[r].is_dense
+        thread_out = by_backend["thread"]
+        for backend in BACKENDS[1:]:
+            other_out = by_backend[backend]
+            for r in range(nranks):
+                t, o = thread_out[r].to_dense(), other_out[r].to_dense()
+                assert np.array_equal(t, o), (
+                    f"{name} P={nranks} rank {r}: thread vs {backend} differ"
+                )
+                assert np.allclose(t, ref, atol=1e-4)
+                assert thread_out[r].is_dense == other_out[r].is_dense
 
     def test_traces_equivalent(self, name, algo, nranks):
         """Byte accounting is a property of the algorithm, not the backend."""
-        thread_out = _run_sparse(algo, nranks, "thread")
-        process_out = _run_sparse(algo, nranks, "process")
-        assert thread_out.trace.total_messages == process_out.trace.total_messages
-        assert thread_out.trace.total_bytes_sent == process_out.trace.total_bytes_sent
-        for r in range(nranks):
-            assert thread_out.trace.bytes_sent_by(r) == process_out.trace.bytes_sent_by(r)
+        by_backend = {b: _run_sparse(algo, nranks, b) for b in BACKENDS}
+        thread_out = by_backend["thread"]
+        for backend in BACKENDS[1:]:
+            other_out = by_backend[backend]
+            assert thread_out.trace.total_messages == other_out.trace.total_messages, backend
+            assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent, backend
+            for r in range(nranks):
+                assert thread_out.trace.bytes_sent_by(r) == other_out.trace.bytes_sent_by(r)
 
 
 @pytest.mark.parametrize("nranks", WORLD_SIZES)
@@ -88,13 +96,15 @@ def test_dense_collective_equivalence(name, algo, nranks):
     def prog(comm):
         return algo(comm, make_rank_stream(DIM, NNZ, comm.rank).to_dense())
 
-    thread_out = run_ranks(prog, nranks, backend="thread")
-    process_out = run_ranks(prog, nranks, backend="process")
+    by_backend = {b: run_ranks(prog, nranks, backend=b) for b in BACKENDS}
     ref = reference_sum(DIM, NNZ, nranks)
-    for r in range(nranks):
-        assert np.array_equal(thread_out[r], process_out[r])
-        assert np.allclose(thread_out[r], ref, atol=1e-4)
-    assert thread_out.trace.total_bytes_sent == process_out.trace.total_bytes_sent
+    thread_out = by_backend["thread"]
+    for backend in BACKENDS[1:]:
+        other_out = by_backend[backend]
+        for r in range(nranks):
+            assert np.array_equal(thread_out[r], other_out[r]), backend
+            assert np.allclose(thread_out[r], ref, atol=1e-4)
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
 
 
 @pytest.mark.parametrize("nranks", WORLD_SIZES)
@@ -108,11 +118,13 @@ def test_sparse_allgather_equivalence(nranks):
         vals = np.full(idx.size, comm.rank + 1.0, dtype=np.float32)
         return sparse_allgather(comm, SparseStream(dim, indices=idx, values=vals))
 
-    thread_out = run_ranks(prog, nranks, backend="thread")
-    process_out = run_ranks(prog, nranks, backend="process")
-    for r in range(nranks):
-        assert np.array_equal(thread_out[r].to_dense(), process_out[r].to_dense())
-    assert thread_out.trace.total_bytes_sent == process_out.trace.total_bytes_sent
+    by_backend = {b: run_ranks(prog, nranks, backend=b) for b in BACKENDS}
+    thread_out = by_backend["thread"]
+    for backend in BACKENDS[1:]:
+        other_out = by_backend[backend]
+        for r in range(nranks):
+            assert np.array_equal(thread_out[r].to_dense(), other_out[r].to_dense()), backend
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

@@ -1,9 +1,9 @@
 """Property-based cross-backend equivalence (hypothesis).
 
 For random (dimension, nnz, P): every SSAR algorithm computes the same sum
-as the dense reference, and the thread and process backends agree bit for
-bit. This is the randomized generalization of the fixed-size equivalence
-layer in ``test_backend_equivalence.py``.
+as the dense reference, and the thread, process and shmem backends agree
+bit for bit. This is the randomized generalization of the fixed-size
+equivalence layer in ``test_backend_equivalence.py``.
 """
 
 import numpy as np
@@ -21,6 +21,8 @@ ALGOS = {
     "ssar_split_ag": ssar_split_allgather,
     "ssar_ring": ssar_ring,
 }
+
+BACKENDS = ["thread", "process", "shmem"]
 
 
 def _run(algo, nranks, dim, nnz, seed, backend):
@@ -45,20 +47,24 @@ def _run(algo, nranks, dim, nnz, seed, backend):
 )
 def test_property_slow_all_algorithms_agree_across_backends(nranks, dim, density, seed):
     """ssar_rec_dbl == ssar_split_ag == ssar_ring == dense reference,
-    bit-identically across the thread and process backends."""
+    bit-identically across the thread, process and shmem backends."""
     nnz = int(round(density * dim))
     ref = reference_sum(dim, nnz, nranks, seed)
     for name, algo in ALGOS.items():
-        thread_out = _run(algo, nranks, dim, nnz, seed, "thread")
-        process_out = _run(algo, nranks, dim, nnz, seed, "process")
-        for r in range(nranks):
-            t = thread_out[r].to_dense()
-            p = process_out[r].to_dense()
-            assert np.array_equal(t, p), f"{name} P={nranks} rank {r}: backends disagree"
-            assert np.allclose(t, ref, atol=1e-3), f"{name} P={nranks} rank {r}: wrong sum"
-        assert (
-            thread_out.trace.total_bytes_sent == process_out.trace.total_bytes_sent
-        ), f"{name}: byte accounting differs across backends"
+        outs = {b: _run(algo, nranks, dim, nnz, seed, b) for b in BACKENDS}
+        thread_out = outs["thread"]
+        for backend in BACKENDS[1:]:
+            other_out = outs[backend]
+            for r in range(nranks):
+                t = thread_out[r].to_dense()
+                o = other_out[r].to_dense()
+                assert np.array_equal(t, o), (
+                    f"{name} P={nranks} rank {r}: thread vs {backend} disagree"
+                )
+                assert np.allclose(t, ref, atol=1e-3), f"{name} P={nranks} rank {r}: wrong sum"
+            assert (
+                thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
+            ), f"{name}: byte accounting differs on {backend}"
 
 
 @pytest.mark.slow
@@ -73,7 +79,7 @@ def test_property_slow_algorithms_agree_with_each_other(nranks, dim, seed):
     gen = np.random.default_rng(seed)
     nnz = int(gen.integers(0, dim + 1))
     outs = {
-        name: _run(algo, nranks, dim, nnz, seed, "process")[0].to_dense()
+        name: _run(algo, nranks, dim, nnz, seed, "shmem")[0].to_dense()
         for name, algo in ALGOS.items()
     }
     base = outs.pop("ssar_rec_dbl")

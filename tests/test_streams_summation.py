@@ -240,3 +240,135 @@ def test_property_reduce_order_invariant(dim, seed):
     fwd = reduce_streams(streams).to_dense()
     rev = reduce_streams(streams[::-1]).to_dense()
     assert np.allclose(fwd, rev, atol=1e-4)
+
+
+# ----------------------------------------------------------------------
+# allocation-lean kernel additions (ISSUE 2): copy flag, scratch reuse
+# ----------------------------------------------------------------------
+class TestMergeCopyFlag:
+    def test_empty_side_copies_by_default(self):
+        idx_b = np.array([2, 7], np.uint32)
+        val_b = np.array([1.0, 2.0], np.float32)
+        empty_i = np.empty(0, np.uint32)
+        empty_v = np.empty(0, np.float32)
+        idx, val = merge_sparse_pairs(empty_i, empty_v, idx_b, val_b)
+        assert idx is not idx_b and val is not val_b
+        val[0] = 99.0
+        assert val_b[0] == 1.0  # caller's array untouched
+
+    def test_copy_false_returns_inputs_verbatim(self):
+        idx_b = np.array([2, 7], np.uint32)
+        val_b = np.array([1.0, 2.0], np.float32)
+        empty_i = np.empty(0, np.uint32)
+        empty_v = np.empty(0, np.float32)
+        idx, val = merge_sparse_pairs(empty_i, empty_v, idx_b, val_b, copy=False)
+        assert idx is idx_b and val is val_b
+        idx2, val2 = merge_sparse_pairs(idx_b, val_b, empty_i, empty_v, copy=False)
+        assert idx2 is idx_b and val2 is val_b
+
+    def test_copy_flag_irrelevant_when_both_nonempty(self):
+        idx_a = np.array([1], np.uint32)
+        val_a = np.array([1.0], np.float32)
+        idx_b = np.array([2], np.uint32)
+        val_b = np.array([2.0], np.float32)
+        idx, val = merge_sparse_pairs(idx_a, val_a, idx_b, val_b, copy=False)
+        assert idx is not idx_a and idx is not idx_b  # merged output is fresh
+
+    def test_add_streams_inplace_adopts_owned_incoming(self):
+        from repro.streams import MergeScratch
+
+        acc = SparseStream.zeros(100)
+        incoming = _stream(100, [3, 5], [1.0, 2.0])
+        out = add_streams_(acc, incoming, scratch=MergeScratch(), own_other=True)
+        assert out is acc
+        assert np.array_equal(acc.indices, incoming.indices)
+        assert acc.indices is incoming.indices  # adopted, not copied
+
+    def test_add_streams_default_does_not_alias(self):
+        acc = SparseStream.zeros(100)
+        incoming = _stream(100, [3, 5], [1.0, 2.0])
+        add_streams_(acc, incoming)
+        assert acc.indices is not incoming.indices
+        acc.iscale(10.0)
+        assert incoming.values[0] == 1.0  # pure input survives acc mutation
+
+
+class TestMergeScratch:
+    def test_scratch_results_bit_identical(self):
+        from repro.streams import MergeScratch
+
+        gen = np.random.default_rng(7)
+        scratch = MergeScratch()
+        for nnz in (1, 5, 100, 3000):
+            a = SparseStream.random_uniform(1 << 16, nnz, gen)
+            b = SparseStream.random_uniform(1 << 16, nnz, gen)
+            ref = merge_sparse_pairs(a.indices, a.values, b.indices, b.values)
+            got = merge_sparse_pairs(
+                a.indices, a.values, b.indices, b.values, scratch=scratch
+            )
+            assert np.array_equal(ref[0], got[0])
+            assert np.array_equal(ref[1], got[1])
+            assert got[0].dtype == ref[0].dtype and got[1].dtype == ref[1].dtype
+
+    def test_scratch_reused_across_rounds_stays_correct(self):
+        """Recursive-doubling style: one scratch, growing operands."""
+        from repro.streams import MergeScratch
+
+        gen = np.random.default_rng(11)
+        scratch = MergeScratch()
+        acc = SparseStream.random_uniform(1 << 14, 200, gen)
+        expected = acc.to_dense().astype(np.float64)
+        for _ in range(5):
+            nxt = SparseStream.random_uniform(1 << 14, 200, gen)
+            expected += nxt.to_dense()
+            add_streams_(acc, nxt, scratch=scratch, own_other=True)
+        assert np.allclose(acc.to_dense(), expected, atol=1e-3)
+
+    def test_scratch_outputs_do_not_alias_workspace(self):
+        """Round k's outputs must survive round k+1 reusing the scratch."""
+        from repro.streams import MergeScratch
+
+        scratch = MergeScratch()
+        idx1, val1 = merge_sparse_pairs(
+            np.array([1, 2], np.uint32), np.array([1.0, 2.0], np.float32),
+            np.array([2, 3], np.uint32), np.array([3.0, 4.0], np.float32),
+            scratch=scratch,
+        )
+        snapshot = (idx1.copy(), val1.copy())
+        merge_sparse_pairs(
+            np.arange(500, dtype=np.uint32), np.ones(500, np.float32),
+            np.arange(500, 1000, dtype=np.uint32), np.ones(500, np.float32),
+            scratch=scratch,
+        )
+        assert np.array_equal(idx1, snapshot[0])
+        assert np.array_equal(val1, snapshot[1])
+
+    def test_scratch_handles_dtype_switch(self):
+        from repro.streams import MergeScratch
+
+        scratch = MergeScratch()
+        for dtype in (np.float32, np.float64, np.float16, np.float32):
+            a = _stream(64, [1, 9], [1.0, 2.0], dtype)
+            b = _stream(64, [9, 30], [3.0, 4.0], dtype)
+            idx, val = merge_sparse_pairs(
+                a.indices, a.values, b.indices, b.values, scratch=scratch
+            )
+            assert val.dtype == np.dtype(dtype)
+            assert list(idx) == [1, 9, 30]
+
+
+class TestSetPairs:
+    def test_set_pairs_adopts_in_place(self):
+        s = _stream(50, [1, 2], [1.0, 2.0])
+        idx = np.array([5, 9], np.uint32)
+        val = np.array([7.0, 8.0], np.float32)
+        out = s.set_pairs(idx, val)
+        assert out is s and not s.is_dense
+        assert s.indices is idx and s.values is val
+        assert s.nnz == 2
+
+    def test_set_pairs_clears_dense_representation(self):
+        s = SparseStream(8, dense=np.ones(8, np.float32))
+        s.set_pairs(np.array([0], np.uint32), np.array([4.0], np.float32))
+        assert not s.is_dense
+        assert s.to_dense()[0] == 4.0 and s.to_dense()[1] == 0.0

@@ -115,3 +115,40 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestBenchKernelsCommand:
+    def test_quick_bench_writes_valid_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench-kernels", "--quick", "--out", str(out),
+            "--dimension", "4096", "--nranks", "2",
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1 and doc["quick"] is True
+        assert doc["params"]["dimension"] == 4096
+        # every layer present, with sane positive timings
+        for name, stats in doc["microkernels"].items():
+            if name == "params":
+                continue
+            assert stats["best_s"] > 0, name
+        assert set(doc["transport_roundtrip"]) == {"process", "shmem"}
+        assert set(doc["allreduce"]) == {"thread", "process", "shmem"}
+        for per_algo in doc["allreduce"].values():
+            for per_density in per_algo.values():
+                for stats in per_density.values():
+                    assert stats["best_s"] > 0
+        assert any(k.startswith("e2e_") for k in doc["headline"])
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_parser_backend_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bench-kernels", "--quick", "--backends", "thread", "shmem"]
+        )
+        assert args.backends == ["thread", "shmem"]
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bench-kernels", "--backends", "mpi"])

@@ -1,0 +1,189 @@
+"""Wire fidelity across every backend (ISSUE 2, satellite).
+
+The §5.1 wire format must round-trip every stream variant the library
+produces — float16 values, quantized streams annotated with fractional
+``value_wire_bytes``, and pickle-fallback containers that *hold* streams —
+identically whether the transport is in-process mailboxes (``thread``),
+pipes (``process``) or shared-memory rings (``shmem``). Codec-level
+round-trips (including the zero-copy decode) are asserted directly on
+:mod:`repro.runtime.wire`; transport-level fidelity by echoing payloads
+between two real ranks per backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quant import QSGDQuantizer
+from repro.runtime import run_ranks
+from repro.runtime.wire import (
+    decode_message,
+    decode_payload,
+    encode_frame_parts,
+    encode_message,
+    encode_payload,
+    encode_payload_parts,
+)
+from repro.streams import SparseStream
+
+BACKENDS = ["thread", "process", "shmem"]
+
+
+def _f16_stream():
+    return SparseStream(
+        4096, indices=[0, 17, 400, 4095], values=[0.5, -2.0, 7.25, 1.0],
+        value_dtype=np.float16,
+    )
+
+
+def _quantized_stream():
+    s = SparseStream(2048, indices=[5, 99, 1200], values=[1.5, -3.25, 0.125])
+    s.value_wire_bytes = 1.25  # Algorithm 1: low-precision values on the wire
+    return s
+
+
+def _container_payload():
+    """A pickle-fallback container holding streams (no stream fast path)."""
+    return {
+        "streams": [_f16_stream(), _quantized_stream()],
+        "dense": SparseStream(32, dense=np.arange(32, dtype=np.float64),
+                              value_dtype=np.float64),
+        "meta": ("epoch", 3, 0.125),
+    }
+
+
+def _assert_stream_equal(out: SparseStream, ref: SparseStream):
+    assert isinstance(out, SparseStream)
+    assert out.dimension == ref.dimension
+    assert out.value_dtype == ref.value_dtype
+    assert out.is_dense == ref.is_dense
+    assert out.value_wire_bytes == ref.value_wire_bytes
+    assert np.array_equal(out.to_dense(), ref.to_dense())
+    if not ref.is_dense:
+        assert out.indices.dtype == ref.indices.dtype
+        assert np.array_equal(out.indices, ref.indices)
+        assert np.array_equal(out.values, ref.values)
+
+
+class TestCodecRoundTrip:
+    def test_float16_stream(self):
+        ref = _f16_stream()
+        _assert_stream_equal(decode_payload(encode_payload(ref)), ref)
+
+    def test_quantized_annotation_fractional_bytes(self):
+        ref = _quantized_stream()
+        out = decode_payload(encode_payload(ref))
+        _assert_stream_equal(out, ref)
+        assert out.value_wire_bytes == 1.25
+        # the annotation feeds byte accounting: it must be bit-exact
+        assert out.nbytes_payload == ref.nbytes_payload
+
+    def test_container_with_streams_pickle_fallback(self):
+        ref = _container_payload()
+        out = decode_payload(encode_payload(ref))
+        _assert_stream_equal(out["streams"][0], ref["streams"][0])
+        _assert_stream_equal(out["streams"][1], ref["streams"][1])
+        _assert_stream_equal(out["dense"], ref["dense"])
+        assert out["meta"] == ref["meta"]
+
+    def test_vectored_parts_match_blob_encoding(self):
+        """encode_payload_parts is byte-for-byte the flat encoding."""
+        for ref in (_f16_stream(), _quantized_stream(), _container_payload()):
+            total, parts = encode_payload_parts(ref)
+            flat = b"".join(bytes(p) for p in parts)
+            assert len(flat) == total
+            assert flat == bytes(encode_payload(ref))
+
+    def test_frame_parts_match_encode_message(self):
+        ref = _quantized_stream()
+        total, parts = encode_frame_parts(9, 4, ref.nbytes_payload, ref)
+        flat = b"".join(bytes(p) for p in parts)
+        assert flat == bytes(encode_message(9, 4, ref.nbytes_payload, ref))
+        assert len(flat) == total
+
+    def test_zero_copy_decode_returns_views(self):
+        ref = _f16_stream()
+        blob = bytearray(encode_message(3, 0, ref.nbytes_payload, ref))
+        tag, seq, nbytes, out = decode_message(blob, copy=False)
+        _assert_stream_equal(out, ref)
+        # views alias the frame buffer: flipping a byte in the blob must
+        # show through (this is what the shmem in-place path relies on)
+        assert out.values.base is not None
+        before = out.values.copy()
+        blob[-1] ^= 0xFF
+        assert not np.array_equal(out.values, before)
+
+    def test_copy_decode_owns_memory(self):
+        ref = _f16_stream()
+        blob = bytearray(encode_message(3, 0, ref.nbytes_payload, ref))
+        _, _, _, out = decode_message(blob, copy=True)
+        blob[:] = b"\x00" * len(blob)
+        _assert_stream_equal(out, ref)  # untouched by clobbering the frame
+        out.values[0] = 9.0  # and writable
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+    def test_empty_stream_every_dtype(self, dtype):
+        ref = SparseStream.zeros(123, value_dtype=dtype)
+        _assert_stream_equal(decode_payload(encode_payload(ref)), ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTransportRoundTrip:
+    """The same payloads, echoed between two real ranks per backend."""
+
+    @staticmethod
+    def _echo(make_payload):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(make_payload(), 1, tag=11)
+                return comm.recv(1, tag=12)  # echoed back
+            got = comm.recv(0, tag=11)
+            comm.send(got, 0, tag=12)
+            return None
+
+        return prog
+
+    def test_float16_stream(self, backend):
+        out = run_ranks(self._echo(_f16_stream), 2, backend=backend)
+        _assert_stream_equal(out[0], _f16_stream())
+
+    def test_quantized_stream_annotation(self, backend):
+        out = run_ranks(self._echo(_quantized_stream), 2, backend=backend)
+        ref = _quantized_stream()
+        _assert_stream_equal(out[0], ref)
+        assert out[0].value_wire_bytes == 1.25
+        assert out[0].nbytes_payload == ref.nbytes_payload
+
+    def test_container_holding_streams(self, backend):
+        out = run_ranks(self._echo(_container_payload), 2, backend=backend)
+        ref = _container_payload()
+        _assert_stream_equal(out[0]["streams"][0], ref["streams"][0])
+        _assert_stream_equal(out[0]["streams"][1], ref["streams"][1])
+        _assert_stream_equal(out[0]["dense"], ref["dense"])
+        assert out[0]["meta"] == ref["meta"]
+
+    def test_quantized_block_payload(self, backend):
+        """QSGD blocks travel by pickle fallback and dequantize identically."""
+        q = QSGDQuantizer(bits=4, bucket_size=64, seed=3)
+        vec = np.linspace(-1.0, 1.0, 256, dtype=np.float32)
+        block = q.quantize(vec)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(block, 1, tag=1)
+                return None
+            return q.dequantize(comm.recv(0, tag=1))
+
+        out = run_ranks(prog, 2, backend=backend)
+        assert np.array_equal(out[1], q.dequantize(block))
+
+    def test_byte_accounting_identical(self, backend):
+        """Trace byte counts are payload properties, not transport ones."""
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(_quantized_stream(), 1, tag=2)
+            else:
+                comm.recv(0, tag=2)
+
+        out = run_ranks(prog, 2, backend=backend)
+        sends = [e for e in out.trace.events(0) if e.op == "send"]
+        assert sends[0].nbytes == _quantized_stream().nbytes_payload
