@@ -1,6 +1,7 @@
 # Developer entry points for the SparCML reproduction.
 #
 #   make test               the tier-1 suite (what CI gates on)
+#   make lint               ruff check (config in pyproject.toml; CI-enforced)
 #   make smoke              fast subset (skips "slow" tests) plus a
 #                           one-iteration bench-kernels sanity pass
 #   make bench-kernels      quick wall-clock microkernel/transport/allreduce
@@ -10,6 +11,11 @@
 #                           the repo root (the committed perf trajectory)
 #   make bench-smoke        a quick pass over the cheapest benchmark figures
 #   make bench              every benchmark table/figure (minutes)
+#
+# CI (.github/workflows/ci.yml) runs `make test` + `make bench-kernels` as
+# the main gate, the backend-equivalence/property suites as a separate leg
+# (transport flakiness surfaces there, with results/ uploaded on failure),
+# and `make lint` — all on every push/PR.
 
 PYTHON ?= python
 
@@ -17,10 +23,13 @@ PYTHON ?= python
 # invocations need it on PYTHONPATH explicitly.
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: test smoke bench-smoke bench bench-kernels bench-kernels-full
+.PHONY: test lint smoke bench-smoke bench bench-kernels bench-kernels-full
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m ruff check .
 
 smoke:
 	$(PYTHON) -m pytest -x -q -k "not slow" -m "not slow"

@@ -70,7 +70,7 @@ def _run_experiment():
     topk_out = run_ranks(topk_prog, P)
     dense_out = run_ranks(dense_prog, P)
     results = {}
-    for name, out in (("dense", dense_out), (f"topk 1/512+4bit", topk_out)):
+    for name, out in (("dense", dense_out), ("topk 1/512+4bit", topk_out)):
         total = replay(out.trace, GPU_ARIES).makespan
         comm_only = replay(out.trace, GPU_ARIES.with_(gamma=0.0)).makespan
         results[name] = {

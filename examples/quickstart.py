@@ -7,10 +7,13 @@ dense baselines, verify they all compute the identical sum, and compare
 communication volume and replayed time on a supercomputer-class and a
 Gigabit-Ethernet-class network.
 
-Run:  python examples/quickstart.py [--backend thread|process]
+Run:  python examples/quickstart.py [--backend thread|process|shmem|socket]
 
 ``--backend process`` executes every rank in its own OS process with real
-serialized transport over pipes — same algorithms, same results.
+serialized transport over pipes; ``shmem`` moves payloads through
+zero-copy shared-memory rings; ``socket`` frames them over a TCP mesh
+(the transport that also spans machines via ``python -m repro
+serve-rank``) — same algorithms, same results on every backend.
 """
 
 import argparse
@@ -51,7 +54,8 @@ def main() -> None:
         "--backend",
         choices=available_backends(),
         default="thread",
-        help="runtime backend: thread (in-process) or process (one OS process per rank)",
+        help="runtime backend: thread (in-process), process (pipes), "
+             "shmem (shared-memory rings) or socket (TCP mesh)",
     )
     backend = parser.parse_args().backend
 

@@ -136,8 +136,9 @@ def run_sparse_allreduce(
 ) -> ParallelResult:
     """One-call driver: allreduce one stream per rank on a chosen backend.
 
-    Spawns ``len(streams)`` ranks on ``backend`` (``"thread"`` or
-    ``"process"``), runs :func:`sparse_allreduce` on each, and returns the
+    Spawns ``len(streams)`` ranks on ``backend`` (``"thread"``,
+    ``"process"``, ``"shmem"`` or ``"socket"``), runs
+    :func:`sparse_allreduce` on each, and returns the
     :class:`~repro.runtime.ParallelResult` (per-rank reduced streams plus
     the recorded trace). This is the ``mpiexec``-style entry point the
     sweeps, examples and cross-backend tests share.

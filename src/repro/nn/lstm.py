@@ -96,7 +96,6 @@ class LSTMClassifier:
         loss, dlogits = softmax_cross_entropy(logits, y)
         cache = self._cache
         assert cache is not None
-        h_dim = self.hidden_dim
         dE, dWx, dWh, db, dWo, dbo = self.grads
 
         h_final = cache["h_final"]

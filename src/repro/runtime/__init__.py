@@ -5,7 +5,8 @@ The runtime is split into a backend-neutral core and pluggable backends:
 * :mod:`~repro.runtime.comm` — the :class:`Communicator` interface all
   collectives are written against;
 * :mod:`~repro.runtime.backend` — the :class:`Backend` abstraction and
-  registry (``"thread"``, ``"process"`` and ``"shmem"`` ship built in);
+  registry (``"thread"``, ``"process"``, ``"shmem"`` and ``"socket"``
+  ship built in);
 * :mod:`~repro.runtime.launcher` — :func:`run_ranks`, the ``mpiexec``
   analog, with a ``backend=`` selector;
 * :mod:`~repro.runtime.trace` / :mod:`~repro.runtime.nonblocking` —
@@ -34,6 +35,13 @@ from .launcher import run_ranks
 from .nonblocking import NonBlockingHandle, i_collective
 from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
 from .shmem_backend import SharedRing, ShmemBackend, ShmemComm, ShmemWorld
+from .socket_backend import (
+    RendezvousTimeoutError,
+    SocketBackend,
+    SocketComm,
+    SocketWorld,
+    serve_rank,
+)
 from .thread_backend import ThreadBackend, ThreadComm, ThreadWorld
 from .trace import COMPUTE, MARK, RECV, SEND, Trace, TraceEvent
 
@@ -64,6 +72,11 @@ __all__ = [
     "ShmemComm",
     "ShmemWorld",
     "SharedRing",
+    "SocketBackend",
+    "SocketComm",
+    "SocketWorld",
+    "RendezvousTimeoutError",
+    "serve_rank",
     "WorldAbortedError",
     "Trace",
     "TraceEvent",

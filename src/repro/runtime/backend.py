@@ -20,6 +20,12 @@ program runs unmodified on any of them:
     per-pair shared-memory ring buffers with the §5.1 header packed in
     place — no pickle, no pipe syscalls, one copy per payload byte each
     way. The fastest real transport.
+``socket`` (:class:`~repro.runtime.socket_backend.SocketBackend`)
+    one OS process per rank with payloads framed over a full TCP mesh
+    assembled through a rendezvous address. The only transport that can
+    span machines: ``run_ranks`` launches all ranks on this host, while
+    ``python -m repro serve-rank`` joins ranks from anywhere into the
+    same world.
 
 Backends register themselves under a short name via
 :func:`register_backend` when their module is imported (the built-ins

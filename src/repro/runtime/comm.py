@@ -12,7 +12,9 @@ implementations, selected by the ``backend=`` argument of
 * :mod:`repro.runtime.process_backend` — one OS process per rank with
   real serialized transport over pipes;
 * :mod:`repro.runtime.shmem_backend` — one OS process per rank with
-  zero-copy shared-memory ring transport (the fast real transport).
+  zero-copy shared-memory ring transport (the fast real transport);
+* :mod:`repro.runtime.socket_backend` — one OS process per rank with
+  TCP framing (the transport that spans machines).
 
 Layering
 --------

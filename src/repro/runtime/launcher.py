@@ -39,7 +39,9 @@ def run_ranks(
     backend:
         Which runtime executes the ranks: ``"thread"`` (in-process, the
         default), ``"process"`` (one OS process per rank with serialized
-        pipe transport), or any registered :class:`Backend` instance.
+        pipe transport), ``"shmem"`` (processes over shared-memory
+        rings), ``"socket"`` (processes over a TCP mesh — the multi-host
+        transport), or any registered :class:`Backend` instance.
     copy_payloads:
         Copy messages on send (MPI semantics). Disable only for read-only
         payload protocols; the process backend always isolates payloads

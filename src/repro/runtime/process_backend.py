@@ -107,8 +107,9 @@ class PumpedComm(MeshComm):
     One daemon *pump* thread per peer drains that peer's inbound channel
     (the MPI progress-engine stand-in), so a blocking peer send can never
     deadlock against an unread transport buffer. Subclasses (the pipe
-    transport here; a future socket transport would fit too) provide the
-    channel type, the pump body and the outbound send.
+    transport here, the TCP transport in
+    :mod:`~repro.runtime.socket_backend`) provide the channel type, the
+    pump body and the outbound send.
     """
 
     def _init_mesh(self, rank: int, size: int, trace: Trace) -> None:
@@ -271,6 +272,53 @@ def _portable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
+def _check_spawn_picklable(fn: Callable[..., Any], args: tuple, kwargs: dict, what: str) -> None:
+    """Fail fast with a clear message instead of a mid-launch pickle
+    traceback: spawn re-imports the child, so closures cannot travel."""
+    if _START_METHOD != "spawn":
+        return
+    try:
+        pickle.dumps((fn, args, kwargs))
+    except Exception as exc:
+        raise ValueError(
+            f"the {what} backend on a spawn-only platform requires a "
+            "picklable (module-level) rank function and arguments; "
+            f"got {fn!r} ({exc})"
+        ) from exc
+
+
+def _finalize_run(
+    outcome: tuple[list[Any], list[list[TraceEvent]], list[tuple[int, BaseException]], list[int]],
+    trace: Trace | None,
+    nranks: int,
+    world: Any,
+) -> ParallelResult:
+    """Merge worker traces and raise/return — shared tail of every
+    process-family backend's ``run``.
+
+    Merging happens before raising: on failure a caller-supplied trace
+    keeps the partial events of surviving ranks, matching the thread
+    backend.
+    """
+    results, per_rank_events, errors, aborted_ranks = outcome
+    run_trace = trace if trace is not None else Trace(nranks)
+    _merge_events(run_trace, per_rank_events)
+    if errors:
+        rank, original = min(errors, key=lambda e: e[0])
+        raise RankError(rank, original) from original
+    if aborted_ranks:
+        # a rank unwound with WorldAbortedError but nobody reported the
+        # root failure (e.g. an undecodable frame killed a pump thread);
+        # surfacing it beats silently returning None results
+        rank = min(aborted_ranks)
+        original = WorldAbortedError(
+            f"rank {rank} aborted (peer connection or frame failure "
+            "without a reported rank error)"
+        )
+        raise RankError(rank, original) from original
+    return ParallelResult(results=results, trace=run_trace, world=world)
+
+
 class ProcessBackend(Backend):
     """Multiprocess backend: one OS process per rank, serialized transport."""
 
@@ -289,17 +337,7 @@ class ProcessBackend(Backend):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         ctx = mp.get_context(_START_METHOD)
-        if _START_METHOD == "spawn":
-            # fail fast with a clear message instead of a mid-launch pickle
-            # traceback: spawn re-imports the child, so closures cannot travel
-            try:
-                pickle.dumps((fn, args, kwargs))
-            except Exception as exc:
-                raise ValueError(
-                    "the process backend on a spawn-only platform requires a "
-                    "picklable (module-level) rank function and arguments; "
-                    f"got {fn!r} ({exc})"
-                ) from exc
+        _check_spawn_picklable(fn, args, kwargs, self.name)
 
         # full mesh of unidirectional pipes: channel[src][dst]. Setup and
         # launch are guarded so a partial failure (e.g. EMFILE on a large
@@ -388,26 +426,8 @@ class ProcessBackend(Backend):
             for r, _ in result_pipes:
                 r.close()
 
-        results, per_rank_events, errors, aborted_ranks = outcome
-        # merge before raising: on failure a caller-supplied trace keeps the
-        # partial events of surviving ranks, matching the thread backend
-        run_trace = trace if trace is not None else Trace(nranks)
-        _merge_events(run_trace, per_rank_events)
-        if errors:
-            rank, original = min(errors, key=lambda e: e[0])
-            raise RankError(rank, original) from original
-        if aborted_ranks:
-            # a rank unwound with WorldAbortedError but nobody reported the
-            # root failure (e.g. an undecodable frame killed a pump thread);
-            # surfacing it beats silently returning None results
-            rank = min(aborted_ranks)
-            original = WorldAbortedError(
-                f"rank {rank} aborted (peer connection or frame failure "
-                "without a reported rank error)"
-            )
-            raise RankError(rank, original) from original
         world = ProcessWorld(nranks, _START_METHOD, [p.pid for p in procs])
-        return ParallelResult(results=results, trace=run_trace, world=world)
+        return _finalize_run(outcome, trace, nranks, world)
 
     # ------------------------------------------------------------------
     def _collect(

@@ -63,7 +63,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import pickle
 import select
 import struct
 import threading
@@ -72,14 +71,15 @@ from multiprocessing import shared_memory
 from multiprocessing.connection import Connection, wait as conn_wait
 from typing import Any, Callable
 
-from .backend import Backend, ParallelResult, RankError, register_backend
+from .backend import Backend, ParallelResult, register_backend
 from .comm import WorldAbortedError
 from .process_backend import (
     _ERROR_GRACE_S,
     _FIN_TAG,
     _START_METHOD,
     MeshComm,
-    _merge_events,
+    _check_spawn_picklable,
+    _finalize_run,
     _portable_exception,
 )
 from .trace import Trace, TraceEvent
@@ -704,15 +704,7 @@ class ShmemBackend(Backend):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         ctx = mp.get_context(_START_METHOD)
-        if _START_METHOD == "spawn":
-            try:
-                pickle.dumps((fn, args, kwargs))
-            except Exception as exc:
-                raise ValueError(
-                    "the shmem backend on a spawn-only platform requires a "
-                    "picklable (module-level) rank function and arguments; "
-                    f"got {fn!r} ({exc})"
-                ) from exc
+        _check_spawn_picklable(fn, args, kwargs, self.name)
 
         out_rings: list[list[SharedRing | None]] = [[None] * nranks for _ in range(nranks)]
         in_rings: list[list[SharedRing | None]] = [[None] * nranks for _ in range(nranks)]
@@ -807,22 +799,8 @@ class ShmemBackend(Backend):
                 ring.close()
                 ring.unlink()
 
-        results, per_rank_events, errors, aborted_ranks = outcome
-        # merge before raising: on failure a caller-supplied trace keeps the
-        # partial events of surviving ranks, matching the other backends
-        run_trace = trace if trace is not None else Trace(nranks)
-        _merge_events(run_trace, per_rank_events)
-        if errors:
-            rank, original = min(errors, key=lambda e: e[0])
-            raise RankError(rank, original) from original
-        if aborted_ranks:
-            rank = min(aborted_ranks)
-            original = WorldAbortedError(
-                f"rank {rank} aborted (peer failure without a reported rank error)"
-            )
-            raise RankError(rank, original) from original
         world = ShmemWorld(nranks, _START_METHOD, [p.pid for p in procs], self.ring_capacity)
-        return ParallelResult(results=results, trace=run_trace, world=world)
+        return _finalize_run(outcome, trace, nranks, world)
 
     # ------------------------------------------------------------------
     def _collect(

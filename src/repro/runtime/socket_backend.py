@@ -1,0 +1,740 @@
+"""Socket backend: one OS process per rank, payloads framed over TCP.
+
+This is the distributed-memory variant of the process family: the same
+§5.1 wire format (:mod:`repro.runtime.wire`), the same mailbox/pump
+architecture (:class:`~repro.runtime.process_backend.PumpedComm`), but
+the transport is a full mesh of TCP connections instead of pipes — so
+ranks no longer have to share a kernel. SparCML's headline numbers (§6)
+come from cluster runs; this backend is the repo's path to that setting
+while staying a drop-in choice for single-host runs::
+
+    run_ranks(program, nranks=4, backend="socket")          # single host
+    python -m repro serve-rank --rendezvous host:port ...   # join from anywhere
+
+Architecture (per run of ``P`` ranks)
+-------------------------------------
+* **rendezvous**: rank 0's launcher listens at a known TCP address; every
+  rank binds a private *mesh listener* on an ephemeral port, registers
+  ``(rank, host, port)`` with the rendezvous, and receives the full
+  address map back once all ``P`` ranks have checked in. On a single
+  host, :class:`SocketBackend` plays the rendezvous server in the parent
+  (the ``mpiexec`` analog); in the multi-host mode the ``serve-rank``
+  process of rank 0 hosts it, exactly as §6's cluster runs would;
+* **mesh build**: every rank connects outward to each peer's mesh
+  listener and sends a one-off hello frame naming its rank, giving one
+  unidirectional TCP connection per directed pair — the socket analog of
+  the process backend's ``P * (P-1)`` pipe mesh (``TCP_NODELAY`` set, so
+  small frames are not Nagle-delayed);
+* **framing**: each message is ``<u64 frame length> <frame bytes>`` where
+  the frame is the ordinary :func:`~repro.runtime.wire.encode_frame_parts`
+  encoding — vectored on the way out (one gather copy into a single
+  ``sendall`` buffer), received with ``recv_into`` into one reusable
+  grow-on-demand buffer so steady-state receive allocates nothing per
+  message but the decoded arrays themselves;
+* one daemon pump thread per peer (inherited from
+  :class:`~repro.runtime.process_backend.PumpedComm`) drains that peer's
+  connection into the per-(source, tag) mailboxes, standing in for MPI's
+  progress engine.
+
+Failure handling mirrors the shmem doorbell-EOF semantics: a dying rank's
+sockets close, its peers' pumps observe EOF *without* a preceding FIN
+frame, flag the world aborted and unwind blocked collectives with
+:class:`WorldAbortedError`. EOF after FIN is a normal wind-down. A rank
+that finished cleanly keeps its pumps draining for a grace period after
+reporting its result, so a peer's late buffered send larger than the TCP
+window can never block forever (the socket analog of the parent draining
+finished ranks' pipes).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import pickle
+import socket
+import struct
+import threading
+import time
+from multiprocessing.connection import Connection
+from typing import Any, Callable
+
+import numpy as np
+
+from .backend import ParallelResult, register_backend
+from .comm import WorldAbortedError
+from .process_backend import (
+    _FIN_TAG,
+    _START_METHOD,
+    ProcessBackend,
+    PumpedComm,
+    _check_spawn_picklable,
+    _finalize_run,
+    _portable_exception,
+)
+from .trace import Trace
+from .wire import decode_message, encode_frame_parts
+
+__all__ = [
+    "RendezvousTimeoutError",
+    "SocketBackend",
+    "SocketComm",
+    "SocketWorld",
+    "serve_rank",
+    "demo_program",
+]
+
+#: length prefix of every frame on a mesh/rendezvous connection.
+_LEN = struct.Struct("<Q")
+
+#: sanity bound on an announced frame length: anything larger means a
+#: corrupt or hostile peer, not a real payload — fail fast, don't allocate.
+_MAX_FRAME = 1 << 40
+
+#: mesh handshake: magic + the connecting (source) rank.
+_HELLO = struct.Struct("<4sI")
+_MAGIC = b"SPCM"
+
+#: default wall-clock budget for rendezvous + mesh build (seconds).
+DEFAULT_RENDEZVOUS_TIMEOUT = 60.0
+
+#: how long a cleanly-finished rank keeps its pumps draining after
+#: reporting its result, so peers' late buffered sends complete (seconds).
+_LINGER_S = 30.0
+
+#: connect-retry tick while a peer's listener is not up yet (seconds).
+_RETRY_S = 0.05
+
+#: per-connection cap on the tiny registration/hello reads. Without it a
+#: stray connection that sends nothing would hold the (serial) accept
+#: loops for the whole remaining deadline and starve the real ranks.
+_HANDSHAKE_S = 2.0
+
+
+class RendezvousTimeoutError(TimeoutError):
+    """The world never fully assembled within the rendezvous timeout."""
+
+
+# ----------------------------------------------------------------------
+# low-level socket helpers
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, view: memoryview) -> None:
+    """Fill ``view`` from ``sock``; raises EOFError on a closed peer."""
+    got = 0
+    while got < len(view):
+        n = sock.recv_into(view[got:])
+        if n == 0:
+            raise EOFError("peer closed the connection")
+        got += n
+
+
+def _send_blob(sock: socket.socket, payload: bytes) -> None:
+    """One length-prefixed control frame (rendezvous traffic)."""
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_blob(sock: socket.socket) -> bytearray:
+    """Inverse of :func:`_send_blob` (fresh buffer: control traffic is rare)."""
+    header = bytearray(_LEN.size)
+    _recv_exact(sock, memoryview(header))
+    (length,) = _LEN.unpack(header)
+    if length > _MAX_FRAME:
+        raise ValueError(f"corrupt frame: announced length {length}")
+    buf = bytearray(length)
+    _recv_exact(sock, memoryview(buf))
+    return buf
+
+
+def _bind_listener(host: str, port: int, nranks: int) -> socket.socket:
+    """A listening TCP socket whose backlog covers the whole world.
+
+    The backlog matters: mesh peers connect before this rank starts
+    accepting, and a backlog smaller than ``P`` would refuse some of them.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(nranks + 8)
+    return sock
+
+
+def _connect_retry(addr: tuple[str, int], deadline: float, what: str) -> socket.socket:
+    """Connect to ``addr``, retrying until ``deadline`` (peer may be late)."""
+    while True:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(max(0.1, min(1.0, deadline - time.monotonic())))
+            sock.connect(addr)
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise RendezvousTimeoutError(
+                    f"could not reach {what} at {addr[0]}:{addr[1]} before the "
+                    "rendezvous timeout; is it running and reachable?"
+                ) from exc
+            time.sleep(_RETRY_S)
+
+
+# ----------------------------------------------------------------------
+# rendezvous: (rank, host, port) exchange through one known address
+# ----------------------------------------------------------------------
+def _serve_rendezvous(listener: socket.socket, nranks: int, timeout: float) -> None:
+    """Collect ``P`` registrations, then send everyone the full address map.
+
+    Runs in a daemon thread of the launcher (single host) or of rank 0's
+    ``serve-rank`` process (multi host). A registration is one control
+    frame ``pickle((rank, nranks, host, port))``; the reply is
+    ``pickle([(host, port), ...])`` indexed by rank. On timeout the server
+    just returns — every waiting client observes its own
+    :class:`RendezvousTimeoutError`, which surfaces as the rank failure.
+    """
+    deadline = time.monotonic() + timeout
+    conns: dict[int, socket.socket] = {}
+    addrs: dict[int, tuple[str, int]] = {}
+    try:
+        listener.settimeout(0.2)
+        while len(conns) < nranks:
+            if time.monotonic() > deadline:
+                return
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed under us (run torn down)
+            try:
+                conn.settimeout(min(_HANDSHAKE_S, max(0.1, deadline - time.monotonic())))
+                rank, world, host, port = pickle.loads(bytes(_recv_blob(conn)))
+                if world != nranks or not 0 <= rank < nranks or rank in conns:
+                    raise ValueError(f"bad registration: rank {rank} of {world}")
+                conn.settimeout(max(0.1, deadline - time.monotonic()))
+            except Exception:
+                conn.close()  # stray/misconfigured client; keep serving
+                continue
+            conns[rank] = conn
+            addrs[rank] = (host, port)
+        reply = pickle.dumps([addrs[r] for r in range(nranks)])
+        for conn in conns.values():
+            try:
+                _send_blob(conn, reply)
+            except OSError:
+                pass  # its rank will time out and report the failure
+    finally:
+        for conn in conns.values():
+            conn.close()
+        listener.close()
+
+
+def _rendezvous_client(
+    rdv_addr: tuple[str, int],
+    rank: int,
+    nranks: int,
+    mesh_addr: tuple[str, int],
+    timeout: float,
+) -> list[tuple[str, int]]:
+    """Register this rank's mesh listener; return the full address map."""
+    deadline = time.monotonic() + timeout
+    sock = _connect_retry(rdv_addr, deadline, "the rendezvous server")
+    try:
+        sock.settimeout(max(0.1, deadline - time.monotonic()))
+        _send_blob(sock, pickle.dumps((rank, nranks, *mesh_addr)))
+        try:
+            addrs = pickle.loads(bytes(_recv_blob(sock)))
+        except (TimeoutError, EOFError, OSError) as exc:
+            raise RendezvousTimeoutError(
+                f"rank {rank}: the world of {nranks} ranks never fully "
+                f"assembled at {rdv_addr[0]}:{rdv_addr[1]} within {timeout:.1f}s"
+            ) from exc
+    finally:
+        sock.close()
+    if len(addrs) != nranks:
+        raise RuntimeError(f"rendezvous returned {len(addrs)} addresses, expected {nranks}")
+    return [tuple(a) for a in addrs]
+
+
+def _connect_mesh(
+    rank: int,
+    nranks: int,
+    listener: socket.socket,
+    addrs: list[tuple[str, int]],
+    timeout: float,
+) -> tuple[list[socket.socket | None], list[socket.socket | None]]:
+    """Build the full TCP mesh: one outbound connection per directed pair.
+
+    Outbound connects come first (they complete against the peers'
+    listen backlogs without anyone accepting, so there is no ordering
+    deadlock), then ``P - 1`` inbound accepts, each identified by its
+    hello frame.
+    """
+    deadline = time.monotonic() + timeout
+    out_socks: list[socket.socket | None] = [None] * nranks
+    in_socks: list[socket.socket | None] = [None] * nranks
+    try:
+        for peer in range(nranks):
+            if peer == rank:
+                continue
+            sock = _connect_retry(addrs[peer], deadline, f"rank {peer}")
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(_HELLO.pack(_MAGIC, rank))
+            out_socks[peer] = sock
+
+        listener.settimeout(0.2)
+        hello = bytearray(_HELLO.size)
+        accepted = 0
+        while accepted < nranks - 1:
+            if time.monotonic() > deadline:
+                raise RendezvousTimeoutError(
+                    f"rank {rank}: only {accepted} of {nranks - 1} peers "
+                    f"connected within {timeout:.1f}s"
+                )
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            conn.settimeout(min(_HANDSHAKE_S, max(0.1, deadline - time.monotonic())))
+            try:
+                _recv_exact(conn, memoryview(hello))
+                magic, src = _HELLO.unpack(hello)
+                if magic != _MAGIC or not 0 <= src < nranks or in_socks[src] is not None:
+                    raise ValueError(f"bad mesh handshake from {src}")
+            except Exception:
+                conn.close()
+                continue  # stray connection; the real peer will retry
+            conn.settimeout(None)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            in_socks[src] = conn
+            accepted += 1
+    except BaseException:
+        for sock in out_socks + in_socks:
+            if sock is not None:
+                sock.close()
+        raise
+    return out_socks, in_socks
+
+
+# ----------------------------------------------------------------------
+# the communicator
+# ----------------------------------------------------------------------
+class SocketComm(PumpedComm):
+    """Per-rank communicator over the TCP mesh.
+
+    ``out_socks[d]`` / ``in_socks[s]`` are this rank's connections to and
+    from each peer (``None`` at its own slot).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        out_socks: list[socket.socket | None],
+        in_socks: list[socket.socket | None],
+        trace: Trace,
+    ) -> None:
+        self._init_mesh(rank, size, trace)
+        self._out_socks = out_socks
+        self._in_socks = in_socks
+        self._out_locks = [threading.Lock() if s is not None else None for s in out_socks]
+        for src, sock in enumerate(in_socks):
+            if sock is not None:
+                self._start_pump(src, sock)
+
+    # ------------------------------------------------------------------
+    # inbound progress engine
+    # ------------------------------------------------------------------
+    def _pump(self, src: int, sock: socket.socket) -> None:
+        """Receiver thread: drain one peer's connection into the mailboxes.
+
+        Frames are read with ``recv_into`` into one reusable buffer (grown
+        geometrically on demand), so steady-state receive performs no
+        per-message bytes allocation — the only fresh buffers are the
+        decoded arrays themselves. EOF without a FIN first means the peer
+        died mid-run: abort the world, exactly like the shmem progress
+        engine observing doorbell EOF.
+        """
+        header = bytearray(_LEN.size)
+        buf = bytearray(1 << 16)
+        while True:
+            try:
+                _recv_exact(sock, memoryview(header))
+                (length,) = _LEN.unpack(header)
+                if length > _MAX_FRAME:
+                    raise ValueError(f"corrupt frame length {length}")
+                if length > len(buf):
+                    buf = bytearray(max(length, 2 * len(buf)))
+                frame = memoryview(buf)[:length]
+                _recv_exact(sock, frame)
+            except (EOFError, OSError, ValueError, MemoryError):
+                # MemoryError: a corrupt length under _MAX_FRAME can still be
+                # unallocatable — abort the world rather than dying silently
+                self._abort()
+                return
+            try:
+                # copy=True (default): the scratch buffer is reused, so the
+                # decoded arrays must own their memory
+                tag, seq, nbytes, payload = decode_message(frame)
+            except Exception:
+                # undecodable frame: fail fast instead of silently stopping
+                # the progress engine and hanging the run
+                self._abort()
+                return
+            if tag == _FIN_TAG:
+                return  # peer finished cleanly; its channel is drained
+            self._mailbox(src, tag).put(payload, nbytes, seq)
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _frame_blob(tag: int, seq: int, nbytes: int, obj: Any) -> bytearray:
+        """Length prefix + frame, gathered into one send buffer.
+
+        Like :func:`~repro.runtime.wire.encode_message` this copies each
+        payload byte exactly once, and one ``sendall`` per message keeps
+        the frame contiguous on the stream without per-part syscalls.
+        """
+        total, parts = encode_frame_parts(tag, seq, nbytes, obj)
+        out = bytearray(_LEN.size + total)
+        _LEN.pack_into(out, 0, total)
+        pos = _LEN.size
+        for part in parts:
+            n = len(part)
+            out[pos:pos + n] = part
+            pos += n
+        return out
+
+    def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
+        blob = self._frame_blob(tag, seq, nbytes, obj)
+        sock = self._out_socks[dest]
+        lock = self._out_locks[dest]
+        try:
+            with lock:
+                sock.sendall(blob)
+        except OSError as exc:
+            self._abort()
+            raise WorldAbortedError(f"rank {dest} is gone; send failed") from exc
+
+    def shutdown(self) -> None:
+        """Graceful wind-down: tell every peer this rank is done sending."""
+        fin = self._frame_blob(_FIN_TAG, -1, 0, None)
+        for dest, sock in enumerate(self._out_socks):
+            if sock is None:
+                continue
+            try:
+                with self._out_locks[dest]:
+                    sock.sendall(fin)
+            except OSError:  # peer already gone
+                pass
+
+    def join_pumps(self, timeout: float) -> None:
+        """Wait for every peer's FIN (or death) before closing the sockets.
+
+        A finished rank that closed immediately would reset a peer's late
+        buffered send; keeping the pumps draining until each peer FINs is
+        the socket analog of the parent draining finished ranks' pipes.
+        """
+        deadline = time.monotonic() + timeout
+        for t in self._receivers:
+            if self.aborted.is_set():
+                return
+            t.join(max(0.0, deadline - time.monotonic()))
+
+    def close(self) -> None:
+        for sock in self._out_socks + self._in_socks:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+
+
+def _join_world(
+    rank: int,
+    nranks: int,
+    rdv_addr: tuple[str, int],
+    host: str,
+    timeout: float,
+    trace: Trace,
+) -> SocketComm:
+    """Bind a mesh listener, rendezvous, build the mesh, return the comm."""
+    listener = _bind_listener(host, 0, nranks)
+    try:
+        mesh_addr = (host, listener.getsockname()[1])
+        addrs = _rendezvous_client(rdv_addr, rank, nranks, mesh_addr, timeout)
+        out_socks, in_socks = _connect_mesh(rank, nranks, listener, addrs, timeout)
+    finally:
+        listener.close()
+    return SocketComm(rank, nranks, out_socks, in_socks, trace)
+
+
+# ----------------------------------------------------------------------
+# single-host launcher (run_ranks backend)
+# ----------------------------------------------------------------------
+class SocketWorld:
+    """Parent-side record of one socket-backend run (for ParallelResult)."""
+
+    def __init__(
+        self, size: int, start_method: str, pids: list[int], rendezvous: tuple[str, int]
+    ) -> None:
+        self.size = size
+        self.start_method = start_method
+        self.pids = pids
+        self.rendezvous = rendezvous
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SocketWorld(size={self.size}, start_method={self.start_method!r}, "
+            f"rendezvous={self.rendezvous[0]}:{self.rendezvous[1]})"
+        )
+
+
+def _socket_child_main(
+    rank: int,
+    nranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    rdv_addr: tuple[str, int],
+    setup_timeout: float,
+    result_conn: Connection,
+    close_list: list,
+) -> None:
+    """Entry point of one rank process."""
+    # under fork every result-pipe end and the rendezvous listener were
+    # inherited; drop the foreign ones so EOF semantics stay crisp
+    for conn in close_list:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    trace = Trace(nranks)
+    try:
+        comm = _join_world(rank, nranks, rdv_addr, "127.0.0.1", setup_timeout, trace)
+    except BaseException as exc:  # noqa: BLE001 - setup failure is the rank failure
+        result_conn.send(("error", rank, _portable_exception(exc), []))
+        result_conn.close()
+        return
+    try:
+        result = fn(comm, *args, **kwargs)
+        comm.shutdown()
+        payload = ("ok", rank, result, trace.events(rank))
+    except WorldAbortedError:
+        payload = ("aborted", rank, None, trace.events(rank))
+    except BaseException as exc:  # noqa: BLE001 - must propagate rank errors
+        payload = ("error", rank, _portable_exception(exc), trace.events(rank))
+    try:
+        result_conn.send(payload)
+    except Exception as exc:  # unpicklable result/exception
+        result_conn.send(("error", rank, _portable_exception(exc), None))
+    finally:
+        result_conn.close()
+    if payload[0] == "ok":
+        # keep draining peers' traffic until they FIN, so a late buffered
+        # send to this finished rank never hits a reset connection
+        comm.join_pumps(_LINGER_S)
+    comm.close()
+
+
+class SocketBackend(ProcessBackend):
+    """Multi-host-capable backend: one OS process per rank, TCP transport.
+
+    ``run`` launches all ranks on this host (rendezvous served by the
+    parent over loopback) — the same collectives then span machines by
+    starting each rank with ``python -m repro serve-rank`` against a
+    shared rendezvous address instead.
+    """
+
+    name = "socket"
+
+    def __init__(self, rendezvous_timeout: float = DEFAULT_RENDEZVOUS_TIMEOUT) -> None:
+        self.rendezvous_timeout = float(rendezvous_timeout)
+
+    def _setup_timeout(self, timeout: float | None) -> float:
+        """World-assembly budget: the rendezvous timeout, capped by the
+        run timeout so a failed setup never outlives the run watchdog."""
+        if timeout is None:
+            return self.rendezvous_timeout
+        return min(self.rendezvous_timeout, timeout)
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        nranks: int,
+        *args: Any,
+        copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
+        trace: Trace | None = None,
+        timeout: float | None = 300.0,
+        **kwargs: Any,
+    ) -> ParallelResult:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        ctx = mp.get_context(_START_METHOD)
+        _check_spawn_picklable(fn, args, kwargs, self.name)
+        setup_timeout = self._setup_timeout(timeout)
+
+        listener = _bind_listener("127.0.0.1", 0, nranks)
+        rdv_addr = ("127.0.0.1", listener.getsockname()[1])
+        result_pipes: list[tuple[Connection, Connection]] = []
+        procs: list[mp.Process] = []
+        server: threading.Thread | None = None
+        try:
+            result_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+            for rank in range(nranks):
+                close_list: list = []
+                if _START_METHOD == "fork":
+                    # spawn children only inherit what we pass; fork children
+                    # inherit everything and must close foreign ends explicitly
+                    own = id(result_pipes[rank][1])
+                    close_list = [
+                        c for r, w in result_pipes for c in (r, w) if id(c) != own
+                    ]
+                    close_list.append(listener)
+                p = ctx.Process(
+                    target=_socket_child_main,
+                    args=(
+                        rank,
+                        nranks,
+                        fn,
+                        args,
+                        kwargs,
+                        rdv_addr,
+                        setup_timeout,
+                        result_pipes[rank][1],
+                        close_list,
+                    ),
+                    name=f"rank-{rank}",
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+        except BaseException:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            for r, w in result_pipes:
+                r.close()
+                w.close()
+            listener.close()
+            raise
+
+        # serve the rendezvous only after forking: children queue their
+        # connects against the listen backlog in the meantime, and the
+        # parent never forks while its own service thread is mid-flight
+        server = threading.Thread(
+            target=_serve_rendezvous,
+            args=(listener, nranks, setup_timeout),
+            name="socket-rendezvous",
+            daemon=True,
+        )
+        server.start()
+        for _, w in result_pipes:
+            w.close()
+
+        try:
+            no_conns = [[None] * nranks for _ in range(nranks)]
+            outcome = self._collect(
+                procs, [r for r, _ in result_pipes], nranks, timeout, no_conns
+            )
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            for r, _ in result_pipes:
+                r.close()
+            listener.close()  # idempotent; normally the server closed it
+            server.join(timeout=1.0)
+
+        world = SocketWorld(nranks, _START_METHOD, [p.pid for p in procs], rdv_addr)
+        return _finalize_run(outcome, trace, nranks, world)
+
+
+# ----------------------------------------------------------------------
+# multi-host entry point (``python -m repro serve-rank``)
+# ----------------------------------------------------------------------
+def demo_program(comm) -> dict:
+    """Default ``serve-rank`` program: one sparse allreduce, digest out.
+
+    Every rank contributes a seeded random stream, so the reduced
+    checksum is identical on every host — a quick end-to-end proof that
+    a freshly assembled multi-host world computes the right thing.
+    """
+    from ..collectives.sparse import ssar_recursive_double
+    from ..streams import SparseStream
+
+    gen = np.random.default_rng(4242 + comm.rank)
+    stream = SparseStream.random_uniform(1 << 16, nnz=600, rng=gen)
+    out = ssar_recursive_double(comm, stream)
+    dense = out.to_dense()
+    return {
+        "rank": comm.rank,
+        "size": comm.size,
+        "nnz": int(out.nnz),
+        "checksum": float(dense.sum()),
+        "bytes_sent": int(comm.trace.bytes_sent_by(comm.rank)),
+    }
+
+
+def _resolve_program(spec: str | None) -> Callable[..., Any]:
+    """``module:function`` -> the rank program (default: the demo)."""
+    if spec is None:
+        return demo_program
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"program spec must look like 'package.module:function', got {spec!r}"
+        )
+    fn = getattr(importlib.import_module(module_name), attr)
+    if not callable(fn):
+        raise ValueError(f"{spec!r} resolved to a non-callable {fn!r}")
+    return fn
+
+
+def serve_rank(
+    rendezvous: tuple[str, int],
+    rank: int,
+    nranks: int,
+    program: "str | Callable[..., Any] | None" = None,
+    host: str = "127.0.0.1",
+    rendezvous_timeout: float = DEFAULT_RENDEZVOUS_TIMEOUT,
+) -> Any:
+    """Run one rank of a multi-host socket world and return its result.
+
+    Rank 0 listens: it binds the rendezvous address itself and serves the
+    address exchange while also participating as an ordinary rank. Every
+    other rank — on this machine or any other — points at the same
+    ``rendezvous`` address. ``host`` is the address *peers* use to reach
+    this rank's mesh listener, so on a real cluster pass the machine's
+    routable IP (the loopback default only assembles single-host worlds).
+    """
+    if not 0 <= rank < nranks:
+        raise ValueError(f"rank {rank} out of range [0, {nranks})")
+    fn = program if callable(program) else _resolve_program(program)
+    server: threading.Thread | None = None
+    if rank == 0:
+        rdv_listener = _bind_listener(rendezvous[0], rendezvous[1], nranks)
+        server = threading.Thread(
+            target=_serve_rendezvous,
+            args=(rdv_listener, nranks, rendezvous_timeout),
+            name="socket-rendezvous",
+            daemon=True,
+        )
+        server.start()
+    trace = Trace(nranks)
+    comm = _join_world(rank, nranks, rendezvous, host, rendezvous_timeout, trace)
+    try:
+        result = fn(comm)
+        comm.shutdown()
+        comm.join_pumps(_LINGER_S)
+        return result
+    finally:
+        comm.close()
+        if server is not None:
+            server.join(timeout=1.0)
+
+
+register_backend(SocketBackend.name, SocketBackend)

@@ -12,7 +12,8 @@ diff against. Three layers are measured:
 ``transport``
     per-backend point-to-point round-trip latency of a sparse stream
     between two real ranks — the purest backend comparison (the
-    ``process``/``shmem`` gap is the pipe-vs-shared-memory story);
+    ``process``/``shmem`` gap is the pipe-vs-shared-memory story; the
+    ``socket`` rows put the TCP loopback mesh on the same axis);
 ``allreduce``
     per-backend, per-algorithm end-to-end sparse allreduce time at the
     paper's micro-benchmark shape (N = 2^20, uniform random support)
@@ -231,7 +232,7 @@ def run_bench(
         nranks = nranks or 4
         micro_iters, rt_iters, e2e_iters, repeats = 30, 40, 15, 3
         rt_sizes = [1311, 10486, 41943]  # ~10 KB / ~84 KB / ~335 KB frames
-    backends = backends or ["thread", "process", "shmem"]
+    backends = backends or ["thread", "process", "shmem", "socket"]
     algos = algos or sorted(ALGOS)
     headline_nnz = int(round(dimension * 0.01))
 

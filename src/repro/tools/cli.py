@@ -8,6 +8,8 @@ Commands
 ``presets``         show the network model presets
 ``bench-kernels``   wall-clock microkernel + transport + allreduce bench,
                     written to ``BENCH_microkernels.json`` (perf trajectory)
+``serve-rank``      run one rank of a multi-host ``socket``-backend world
+                    against a shared rendezvous address
 
 All output is plain ASCII tables; every experiment is deterministic given
 ``--seed`` (``bench-kernels`` measures real wall clocks and is therefore
@@ -118,6 +120,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--backends", nargs="+", choices=available_backends(), default=None
     )
 
+    serve = sub.add_parser(
+        "serve-rank",
+        help="run one rank of a multi-host socket-backend world",
+        description=(
+            "Join a socket-backend world from this machine. Rank 0 listens: it "
+            "binds the rendezvous address and serves the (rank, host, port) "
+            "exchange; every other rank points at the same --rendezvous. "
+            "Example (two hosts):  host A:  python -m repro serve-rank "
+            "--rendezvous hostA:29400 --rank 0 --nranks 2 --host hostA   "
+            "host B:  python -m repro serve-rank --rendezvous hostA:29400 "
+            "--rank 1 --nranks 2 --host hostB"
+        ),
+    )
+    serve.add_argument(
+        "--rendezvous", required=True, metavar="HOST:PORT",
+        help="rendezvous address (rank 0 binds it; everyone else connects)",
+    )
+    serve.add_argument("--rank", type=int, required=True, help="this rank's id")
+    serve.add_argument("--nranks", type=int, required=True, help="world size P")
+    serve.add_argument(
+        "--program", default=None, metavar="MODULE:FUNCTION",
+        help="rank program fn(comm) to run (default: built-in sparse-allreduce demo)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="address peers use to reach this rank (the machine's routable IP "
+             "on a real cluster; the loopback default only spans one host)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="seconds to wait for the whole world to assemble",
+    )
+
     sub.add_parser("presets", help="show network model presets")
     return parser
 
@@ -140,6 +175,27 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             row = [str(k)] + [f"{expected_union_size(k, n, p):.1f}" for p in args.nodes]
             print("  ".join(v.ljust(8) for v in row))
+        return 0
+
+    if args.command == "serve-rank":
+        from ..runtime.socket_backend import serve_rank
+
+        host, sep, port = args.rendezvous.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            print(
+                f"--rendezvous must look like HOST:PORT, got {args.rendezvous!r}",
+                file=sys.stderr,
+            )
+            return 2
+        result = serve_rank(
+            (host, int(port)),
+            args.rank,
+            args.nranks,
+            program=args.program,
+            host=args.host,
+            rendezvous_timeout=args.timeout,
+        )
+        print(f"rank {args.rank}/{args.nranks} finished: {result!r}")
         return 0
 
     if args.command == "bench-kernels":

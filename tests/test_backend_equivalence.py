@@ -5,7 +5,7 @@ The contract of the pluggable runtime (ISSUE 1) is that the backends are
 trace byte/message accounting. These tests pin that down for every
 collective in :mod:`repro.collectives` at P in {1, 2, 3, 4, 8}, with the
 thread backend as the reference each real-transport backend (``process``
-pipes, ``shmem`` shared-memory rings) is held to.
+pipes, ``shmem`` shared-memory rings, ``socket`` TCP mesh) is held to.
 """
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.streams import SparseStream
 
 from conftest import make_rank_stream, reference_sum
 
-BACKENDS = ["thread", "process", "shmem"]
+BACKENDS = ["thread", "process", "shmem", "socket"]
 WORLD_SIZES = [1, 2, 3, 4, 8]
 
 SPARSE_ALGOS = {

@@ -1,8 +1,8 @@
 """Property-based cross-backend equivalence (hypothesis).
 
 For random (dimension, nnz, P): every SSAR algorithm computes the same sum
-as the dense reference, and the thread, process and shmem backends agree
-bit for bit. This is the randomized generalization of the fixed-size
+as the dense reference, and the thread, process, shmem and socket backends
+agree bit for bit. This is the randomized generalization of the fixed-size
 equivalence layer in ``test_backend_equivalence.py``.
 """
 
@@ -22,7 +22,7 @@ ALGOS = {
     "ssar_ring": ssar_ring,
 }
 
-BACKENDS = ["thread", "process", "shmem"]
+BACKENDS = ["thread", "process", "shmem", "socket"]
 
 
 def _run(algo, nranks, dim, nnz, seed, backend):
@@ -47,7 +47,7 @@ def _run(algo, nranks, dim, nnz, seed, backend):
 )
 def test_property_slow_all_algorithms_agree_across_backends(nranks, dim, density, seed):
     """ssar_rec_dbl == ssar_split_ag == ssar_ring == dense reference,
-    bit-identically across the thread, process and shmem backends."""
+    bit-identically across the thread, process, shmem and socket backends."""
     nnz = int(round(density * dim))
     ref = reference_sum(dim, nnz, nranks, seed)
     for name, algo in ALGOS.items():

@@ -135,8 +135,8 @@ class TestBenchKernelsCommand:
             if name == "params":
                 continue
             assert stats["best_s"] > 0, name
-        assert set(doc["transport_roundtrip"]) == {"process", "shmem"}
-        assert set(doc["allreduce"]) == {"thread", "process", "shmem"}
+        assert set(doc["transport_roundtrip"]) == {"process", "shmem", "socket"}
+        assert set(doc["allreduce"]) == {"thread", "process", "shmem", "socket"}
         for per_algo in doc["allreduce"].values():
             for per_density in per_algo.values():
                 for stats in per_density.values():

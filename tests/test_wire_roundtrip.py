@@ -4,7 +4,8 @@ The §5.1 wire format must round-trip every stream variant the library
 produces — float16 values, quantized streams annotated with fractional
 ``value_wire_bytes``, and pickle-fallback containers that *hold* streams —
 identically whether the transport is in-process mailboxes (``thread``),
-pipes (``process``) or shared-memory rings (``shmem``). Codec-level
+pipes (``process``), shared-memory rings (``shmem``) or a TCP mesh
+(``socket``). Codec-level
 round-trips (including the zero-copy decode) are asserted directly on
 :mod:`repro.runtime.wire`; transport-level fidelity by echoing payloads
 between two real ranks per backend.
@@ -25,7 +26,7 @@ from repro.runtime.wire import (
 )
 from repro.streams import SparseStream
 
-BACKENDS = ["thread", "process", "shmem"]
+BACKENDS = ["thread", "process", "shmem", "socket"]
 
 
 def _f16_stream():
