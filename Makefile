@@ -38,7 +38,9 @@ smoke:
 bench-kernels:
 	$(RUN) -m repro bench-kernels --quick --out results/BENCH_microkernels.quick.json
 	$(PYTHON) -c "import json; d = json.load(open('results/BENCH_microkernels.quick.json')); \
-	assert d['schema'] == 1 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	assert d['schema'] == 2 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	assert 'ssar_hier' in d['hierarchy']['per_algorithm'], 'missing ssar_hier hierarchy rows'; \
+	assert all('ssar_hier' in per_algo for per_algo in d['allreduce'].values()), 'missing ssar_hier allreduce rows'; \
 	print('bench JSON OK')"
 
 bench-kernels-full:

@@ -8,12 +8,22 @@ communication volume and replayed time on a supercomputer-class and a
 Gigabit-Ethernet-class network.
 
 Run:  python examples/quickstart.py [--backend thread|process|shmem|socket]
+                                    [--topology 2x4]
 
 ``--backend process`` executes every rank in its own OS process with real
 serialized transport over pipes; ``shmem`` moves payloads through
 zero-copy shared-memory rings; ``socket`` frames them over a TCP mesh
 (the transport that also spans machines via ``python -m repro
 serve-rank``) — same algorithms, same results on every backend.
+
+``--topology 2x4`` simulates a cluster of 2 hosts x 4 ranks: the table
+gains an "MB inter" column (bytes crossing the simulated slow tier) and
+an ``ssar_hier`` row — the topology-aware hierarchical allreduce that
+reduces intra-host first so only each host's merged union goes
+inter-node. On a real two-machine cluster the same algorithm engages
+automatically: assemble the world with distinct hostnames via
+``python -m repro serve-rank`` (see ROADMAP.md) and the rendezvous host
+map becomes ``comm.topology``.
 """
 
 import argparse
@@ -29,8 +39,10 @@ from repro import (
     ARIES,
     GIGE,
     SparseStream,
+    Topology,
     available_backends,
     dense_allreduce,
+    inter_node_bytes,
     replay,
     run_ranks,
     sparse_allreduce,
@@ -57,47 +69,62 @@ def main() -> None:
         help="runtime backend: thread (in-process), process (pipes), "
              "shmem (shared-memory rings) or socket (TCP mesh)",
     )
-    backend = parser.parse_args().backend
+    parser.add_argument(
+        "--topology", default=None, metavar="HxR",
+        help="simulate a cluster of H hosts x R ranks (e.g. 2x4; HxR must "
+             "equal the 8-rank world) and show hierarchical allreduce",
+    )
+    args = parser.parse_args()
+    backend = args.backend
+    topology = Topology.from_spec(args.topology) if args.topology else None
 
     reference = reduce_streams([make_contribution(r) for r in range(P)]).to_dense()
 
+    topo_note = f", topology={topology.describe()}" if topology else ""
     print(f"P={P} ranks, N={DIMENSION}, k={NNZ} nonzeros/rank "
-          f"(d={NNZ / DIMENSION:.3%}), backend={backend}\n")
-    header = f"{'algorithm':<20}{'correct':<9}{'MB sent':>9}{'aries':>12}{'gige':>12}"
+          f"(d={NNZ / DIMENSION:.3%}), backend={backend}{topo_note}\n")
+    inter_col = f"{'MB inter':>10}" if topology else ""
+    header = f"{'algorithm':<20}{'correct':<9}{'MB sent':>9}{inter_col}{'aries':>12}{'gige':>12}"
     print(header)
     print("-" * len(header))
 
-    sparse_algos = ["ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "dsar_split_ag", "auto"]
+    def report(algo, out, correct):
+        t_aries = replay(out.trace, ARIES).makespan
+        t_gige = replay(out.trace, GIGE).makespan
+        inter = (
+            f"{inter_node_bytes(out.trace, topology) / 1e6:>10.2f}" if topology else ""
+        )
+        print(
+            f"{algo:<20}{str(correct):<9}"
+            f"{out.trace.total_bytes_sent / 1e6:>9.2f}{inter}"
+            f"{t_aries * 1e6:>10.1f}us{t_gige * 1e3:>10.2f}ms"
+        )
+
+    sparse_algos = ["ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "dsar_split_ag"]
+    if topology:
+        sparse_algos.append("ssar_hier")
+    sparse_algos.append("auto")
     for algo in sparse_algos:
         def program(comm, algo=algo):
             return sparse_allreduce(comm, make_contribution(comm.rank), algorithm=algo)
 
-        out = run_ranks(program, P, backend=backend)
+        out = run_ranks(program, P, backend=backend, topology=topology)
         correct = all(np.allclose(out[r].to_dense(), reference, atol=1e-4) for r in range(P))
-        t_aries = replay(out.trace, ARIES).makespan
-        t_gige = replay(out.trace, GIGE).makespan
-        print(
-            f"{algo:<20}{str(correct):<9}"
-            f"{out.trace.total_bytes_sent / 1e6:>9.2f}"
-            f"{t_aries * 1e6:>10.1f}us{t_gige * 1e3:>10.2f}ms"
-        )
+        report(algo, out, correct)
 
     for algo in ["dense_rec_dbl", "dense_ring", "dense_rabenseifner"]:
         def dense_program(comm, algo=algo):
             return dense_allreduce(comm, make_contribution(comm.rank).to_dense(), algorithm=algo)
 
-        out = run_ranks(dense_program, P, backend=backend)
+        out = run_ranks(dense_program, P, backend=backend, topology=topology)
         correct = all(np.allclose(out[r], reference, atol=1e-4) for r in range(P))
-        t_aries = replay(out.trace, ARIES).makespan
-        t_gige = replay(out.trace, GIGE).makespan
-        print(
-            f"{algo:<20}{str(correct):<9}"
-            f"{out.trace.total_bytes_sent / 1e6:>9.2f}"
-            f"{t_aries * 1e6:>10.1f}us{t_gige * 1e3:>10.2f}ms"
-        )
+        report(algo, out, correct)
 
     print("\nAt this density the static-sparse algorithms move ~100x fewer bytes")
     print("than any dense allreduce — the headline effect of the paper.")
+    if topology:
+        print("With a multi-rank multi-host topology, ssar_hier (what 'auto' now")
+        print("picks) also moves the fewest bytes across the slow inter-host tier.")
 
 
 if __name__ == "__main__":

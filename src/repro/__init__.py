@@ -47,7 +47,16 @@ from .core import (
 )
 from .netsim import ARIES, GIGE, IB_FDR, NetworkModel, replay
 from .quant import QSGDQuantizer, QuantizedBlock
-from .runtime import Backend, Trace, available_backends, get_backend, i_collective, run_ranks
+from .runtime import (
+    Backend,
+    Topology,
+    Trace,
+    available_backends,
+    get_backend,
+    i_collective,
+    inter_node_bytes,
+    run_ranks,
+)
 from .streams import SparseStream, add_streams, reduce_streams
 
 __version__ = "1.0.0"
@@ -74,6 +83,8 @@ __all__ = [
     "Backend",
     "get_backend",
     "available_backends",
+    "Topology",
+    "inter_node_bytes",
     "Trace",
     "NetworkModel",
     "ARIES",

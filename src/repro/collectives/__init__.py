@@ -15,7 +15,8 @@ from .dense import (
     partition_bounds,
 )
 from .dsar import dsar_split_allgather
-from .selector import SMALL_MESSAGE_BYTES, SPARSE_ALGORITHMS, choose_algorithm
+from .hier import ssar_hierarchical, tree_reduce
+from .selector import RING_MIN_RANKS, SMALL_MESSAGE_BYTES, SPARSE_ALGORITHMS, choose_algorithm
 from .sparse import slice_stream, split_phase, ssar_recursive_double, ssar_ring, ssar_split_allgather
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "allreduce_ring",
     "partition_bounds",
     "dsar_split_allgather",
+    "ssar_hierarchical",
+    "tree_reduce",
+    "RING_MIN_RANKS",
     "SMALL_MESSAGE_BYTES",
     "SPARSE_ALGORITHMS",
     "choose_algorithm",

@@ -14,6 +14,7 @@ from ..quant import QSGDQuantizer
 from ..runtime.backend import Backend, ParallelResult
 from ..runtime.comm import Communicator
 from ..runtime.launcher import run_ranks
+from ..runtime.topology import Topology
 from ..streams import SparseStream
 from ..streams.ops import REDUCE_OPS, SUM, ReduceOp
 from .allgather import sparse_allgather
@@ -23,6 +24,7 @@ from .dense import (
     allreduce_ring,
 )
 from .dsar import dsar_split_allgather
+from .hier import ssar_hierarchical
 from .selector import choose_algorithm
 from .sparse import ssar_recursive_double, ssar_ring, ssar_split_allgather
 
@@ -38,6 +40,7 @@ ALGORITHMS = {
     "ssar_rec_dbl": ssar_recursive_double,
     "ssar_split_ag": ssar_split_allgather,
     "ssar_ring": ssar_ring,
+    "ssar_hier": ssar_hierarchical,
     "dsar_split_ag": dsar_split_allgather,
 }
 
@@ -73,8 +76,9 @@ def sparse_allreduce(
     stream:
         The local contribution (sparse or dense representation).
     algorithm:
-        ``"auto"`` (selector heuristic of §5.3), or one of
-        ``ssar_rec_dbl``, ``ssar_split_ag``, ``ssar_ring``,
+        ``"auto"`` (selector heuristic of §5.3, topology-aware when the
+        communicator carries one), or one of ``ssar_rec_dbl``,
+        ``ssar_split_ag``, ``ssar_ring``, ``ssar_hier``,
         ``dsar_split_ag``.
     quantizer:
         Optional QSGD quantizer applied to the dense stage; only meaningful
@@ -96,6 +100,7 @@ def sparse_allreduce(
             comm.size,
             stream.nnz,
             stream.value_dtype.itemsize,
+            topology=comm.topology,
         )
     if algorithm not in ALGORITHMS:
         raise ValueError(
@@ -133,6 +138,7 @@ def run_sparse_allreduce(
     quantizer: QSGDQuantizer | None = None,
     op: "ReduceOp | str" = SUM,
     timeout: float | None = 300.0,
+    topology: "Topology | str | int | None" = None,
 ) -> ParallelResult:
     """One-call driver: allreduce one stream per rank on a chosen backend.
 
@@ -141,7 +147,11 @@ def run_sparse_allreduce(
     :func:`sparse_allreduce` on each, and returns the
     :class:`~repro.runtime.ParallelResult` (per-rank reduced streams plus
     the recorded trace). This is the ``mpiexec``-style entry point the
-    sweeps, examples and cross-backend tests share.
+    sweeps, examples and cross-backend tests share. ``topology`` (any
+    form :func:`~repro.runtime.topology.normalize_topology` accepts, e.g.
+    ``"2x4"``) simulates a multi-host world so topology-aware algorithms
+    (``ssar_hier``, ``"auto"`` on hierarchical maps) can be exercised on
+    any backend.
 
     Note: under the process backend's spawn fallback (platforms without
     fork) the whole ``streams`` list is pickled into every worker; for
@@ -158,6 +168,7 @@ def run_sparse_allreduce(
         op,
         backend=backend,
         timeout=timeout,
+        topology=topology,
     )
 
 

@@ -1,0 +1,159 @@
+"""Topology-aware hierarchical sparse allreduce (SSAR_Hierarchical).
+
+SparCML's large-scale results (§6) come from clusters whose intra-node
+links are an order of magnitude faster than the network between nodes.
+:func:`ssar_hierarchical` exploits that split the way SparDL and
+SpComm3D's communicator-splitting designs do — reduce *locally first* so
+only the merged sparse union crosses the slow tier:
+
+1. **intra-node reduce**: every host's ranks merge their streams onto the
+   host *leader* (lowest rank on the host) along a binomial tree — each
+   contribution crosses only the fast intra-node tier, once;
+2. **inter-node allreduce**: the leaders — one per host — run an ordinary
+   flat SSAR algorithm among themselves on a leader sub-communicator, so
+   only ``nnodes`` merged unions travel on the slow tier instead of ``P``
+   raw streams;
+3. **intra-node broadcast**: each leader broadcasts the reduced result
+   back down its host's binomial tree.
+
+With Appendix B's uniform fill-in model, the stream a leader carries
+across the slow tier has expected size ``E[K_local] = N (1 - (1-k/N)^m)``
+for ``m`` ranks per host — already the merged union, so overlapping
+supports inside a host are paid for exactly once inter-node (see
+:func:`repro.analysis.density.expected_two_tier_sizes`).
+
+The rank groups come from the communicator's
+:class:`~repro.runtime.topology.Topology` (``comm.topology`` — derived
+from the socket rendezvous, injected via ``run_ranks(..., topology=...)``,
+or ``None`` = flat). On a flat topology the algorithm degenerates to
+binomial reduce + broadcast, which is still a valid allreduce.
+
+Determinism note: every stage merges with the commutative coordinate-wise
+``op``, so results are identical on every backend bit for bit. They also
+match :func:`~repro.collectives.sparse.ssar_recursive_double` *bit for
+bit* whenever the host groups are aligned power-of-two blocks (e.g. flat
+worlds or uniform ``2x2``/``2x4``/``4x2`` topologies), because both then
+apply the same floating-point association; on other shapes the results
+agree up to float rounding.
+"""
+
+from __future__ import annotations
+
+from ..runtime.comm import Communicator
+from ..runtime.topology import Topology, normalize_topology
+from ..streams import SparseStream, add_streams_, reduction_work_bytes
+from ..streams.ops import SUM, ReduceOp
+from ..streams.summation import MergeScratch
+from .sparse import _ensure_sparse, ssar_recursive_double, ssar_ring, ssar_split_allgather
+
+__all__ = ["ssar_hierarchical", "tree_reduce", "INNER_ALGORITHMS"]
+
+#: flat SSAR kernels eligible as the inter-node (leader) stage.
+INNER_ALGORITHMS = {
+    "ssar_rec_dbl": ssar_recursive_double,
+    "ssar_split_ag": ssar_split_allgather,
+    "ssar_ring": ssar_ring,
+}
+
+
+def tree_reduce(
+    comm: Communicator,
+    stream: SparseStream,
+    op: ReduceOp = SUM,
+    scratch: MergeScratch | None = None,
+) -> SparseStream:
+    """Binomial-tree sparse reduce onto rank 0 of ``comm``.
+
+    Rank 0 returns the merged union of every rank's stream; other ranks
+    return their partial accumulator (callers broadcast the real result
+    back). The merge order matches recursive doubling's association on
+    power-of-two worlds, which is what makes the hierarchical composition
+    bit-compatible with ``ssar_rec_dbl`` on aligned topologies.
+    """
+    acc = stream.copy()
+    if comm.size == 1:
+        return acc
+    if scratch is None:
+        scratch = MergeScratch()
+    base = comm.next_collective_tag()
+    mask = 1
+    while mask < comm.size:
+        if comm.rank & mask:
+            comm.send(acc, comm.rank - mask, base)
+            break
+        src = comm.rank + mask
+        if src < comm.size:
+            incoming = comm.recv(src, base)
+            comm.compute(reduction_work_bytes(acc, incoming), "reduce")
+            # the received stream is ours alone (freshly decoded / copied
+            # on send), so the reduction may adopt its arrays outright
+            add_streams_(acc, incoming, op, scratch=scratch, own_other=True)
+        mask <<= 1
+    return acc
+
+
+def ssar_hierarchical(
+    comm: Communicator,
+    stream: SparseStream,
+    op: ReduceOp = SUM,
+    topology: "Topology | str | int | None" = None,
+    inner: str = "ssar_rec_dbl",
+) -> SparseStream:
+    """SSAR_Hierarchical: intra-node reduce, leader allreduce, broadcast.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator. All ranks must agree on ``topology``
+        and ``inner``.
+    stream:
+        The local contribution (sparse or dense representation).
+    op:
+        The coordinate-wise reduction (§5.2).
+    topology:
+        Rank -> host map; defaults to ``comm.topology`` and falls back to
+        a flat single-host world. Accepts everything
+        :func:`~repro.runtime.topology.normalize_topology` does.
+    inner:
+        The flat SSAR kernel the per-host leaders run among themselves
+        (one of :data:`INNER_ALGORITHMS`). A *name* rather than a
+        callable so all ranks trivially agree; the default recursive
+        doubling is latency-optimal for the (small) leader world and
+        keeps the bit-compatibility property above.
+    """
+    stream = _ensure_sparse(stream)
+    if comm.size == 1:
+        return stream.copy()
+    if inner not in INNER_ALGORITHMS:
+        raise ValueError(
+            f"unknown inner algorithm {inner!r}; choose from {sorted(INNER_ALGORITHMS)}"
+        )
+    topo = normalize_topology(topology, comm.size)
+    if topo is None:
+        topo = comm.topology if comm.topology is not None else Topology.flat(comm.size)
+    if topo.nranks != comm.size:
+        raise ValueError(
+            f"topology describes {topo.nranks} ranks but the communicator has {comm.size}"
+        )
+    comm.mark("ssar_hier")
+
+    # every rank takes one slot in each of the two subgroup call sites:
+    # host groups are pairwise disjoint, so they may share the first slot
+    local = comm.subgroup(topo.group_of(comm.rank))
+    leader_comm = comm.subgroup(topo.leaders)
+
+    scratch = MergeScratch()
+    # phase 1: merge this host's streams onto its leader (fast tier only)
+    comm.mark("hier_local_reduce")
+    acc = tree_reduce(local, stream, op, scratch)
+
+    # phase 2: only the per-host merged unions cross the slow tier
+    if leader_comm is not None and leader_comm.size > 1:
+        comm.mark("hier_leaders")
+        acc = INNER_ALGORITHMS[inner](leader_comm, acc, op)
+
+    # phase 3: fan the reduced result back out inside each host
+    if local.size > 1:
+        comm.mark("hier_bcast")
+        acc = local.bcast(acc, root=0)
+    return acc

@@ -2,12 +2,26 @@
 implementations switch between different implementations depending on the
 message size and the number of processes").
 
-The selector mirrors the paper's guidance:
+The selector mirrors the paper's guidance, extended with topology
+awareness:
 
 * if the expected reduced size ``K`` exceeds the sparse-efficiency
   threshold ``delta`` the instance is *dynamic* → DSAR;
-* otherwise, small reduced payloads are latency-bound → recursive doubling;
-* large static-sparse payloads → split + sparse allgather.
+* a static-sparse instance on a *hierarchical* topology (several hosts,
+  several ranks per host) → ``ssar_hier``: per §6 the inter-node links
+  are the bottleneck, and reducing intra-node first sends only each
+  host's merged union (``E[K_local]`` of the two-tier Appendix-B model,
+  :func:`~repro.analysis.density.expected_two_tier_sizes`) across the
+  slow tier instead of every raw stream;
+* otherwise, small reduced payloads are latency-bound → recursive
+  doubling;
+* very large payloads at scale — where even the per-rank *slice*
+  ``K / P`` exceeds the latency switch point — are bandwidth-bound on
+  every step → the sparse ring: its pipelined single-slice-per-step
+  schedule keeps per-rank buffering bounded and avoids the split phase's
+  ``(P-1)``-way incast, and the extra ``2 (P-1) alpha`` latency it pays
+  is noise at these sizes;
+* remaining large static-sparse payloads → split + sparse allgather.
 
 ``K`` is estimated with the uniform fill-in model of Appendix B when the
 user provides no better estimate ("we require the user to have some rough
@@ -18,17 +32,28 @@ from __future__ import annotations
 
 from ..analysis.density import expected_union_size
 from ..config import INDEX_BYTES, delta_threshold
+from ..runtime.topology import Topology
 
-__all__ = ["choose_algorithm", "SMALL_MESSAGE_BYTES", "SPARSE_ALGORITHMS"]
+__all__ = [
+    "choose_algorithm",
+    "SMALL_MESSAGE_BYTES",
+    "RING_MIN_RANKS",
+    "SPARSE_ALGORITHMS",
+]
 
 #: below this many reduced payload bytes, latency dominates bandwidth and
 #: recursive doubling wins (the classic small-message switch point).
 SMALL_MESSAGE_BYTES = 64 * 1024
 
+#: the ring's 2 (P-1) alpha latency only amortizes at scale; below this
+#: world size the split phase's (P-1) alpha is never worth trading for it.
+RING_MIN_RANKS = 8
+
 SPARSE_ALGORITHMS = (
     "ssar_rec_dbl",
     "ssar_split_ag",
     "ssar_ring",
+    "ssar_hier",
     "dsar_split_ag",
 )
 
@@ -40,6 +65,7 @@ def choose_algorithm(
     value_itemsize: int = 4,
     expected_k: float | None = None,
     small_message_bytes: int = SMALL_MESSAGE_BYTES,
+    topology: Topology | None = None,
 ) -> str:
     """Pick a sparse allreduce algorithm for the given instance.
 
@@ -54,12 +80,19 @@ def choose_algorithm(
         fill-in expectation ``N (1 - (1 - k/N)^P)``.
     small_message_bytes:
         The latency/bandwidth switch point.
+    topology:
+        Optional rank -> host map. A hierarchical topology (several
+        hosts, several ranks per host) makes the selector prefer
+        ``ssar_hier`` for static-sparse instances; ``None`` or a flat/
+        fully-distributed topology selects among the flat algorithms.
 
     Returns
     -------
     str
-        One of :data:`SPARSE_ALGORITHMS` (never ``ssar_ring``, which exists
-        as an explicit comparison point only).
+        One of :data:`SPARSE_ALGORITHMS`. ``ssar_ring`` is reachable only
+        through the bandwidth-bound branch (``P >= RING_MIN_RANKS`` and a
+        per-rank slice above the latency switch point); ``ssar_hier``
+        only with a hierarchical ``topology``.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -69,8 +102,17 @@ def choose_algorithm(
         expected_k = expected_union_size(nnz_per_rank, dimension, nranks)
     delta = delta_threshold(dimension, value_itemsize, INDEX_BYTES)
     if expected_k > delta:
+        # dynamic instance: the reduced result goes dense either way, and
+        # DSAR's dense allgather stage is what handles that efficiently
+        # (a dense-stage hierarchy is a separate optimization; see hier.py)
         return "dsar_split_ag"
+    if topology is not None and topology.is_hierarchical:
+        # static-sparse on a multi-rank multi-host world: pay the fast
+        # tier first so only the merged per-host unions cross the slow one
+        return "ssar_hier"
     reduced_bytes = expected_k * (INDEX_BYTES + value_itemsize)
     if reduced_bytes <= small_message_bytes:
         return "ssar_rec_dbl"
+    if nranks >= RING_MIN_RANKS and reduced_bytes > small_message_bytes * nranks:
+        return "ssar_ring"
     return "ssar_split_ag"

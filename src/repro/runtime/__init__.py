@@ -26,12 +26,14 @@ from .comm import (
     CompletedHandle,
     DeferredRecvHandle,
     Handle,
+    SubCommunicator,
     TAG_USER_LIMIT,
     WorldAbortedError,
     copy_payload,
     payload_nbytes,
 )
 from .launcher import run_ranks
+from .topology import Topology, bytes_by_tier, inter_node_bytes, normalize_topology
 from .nonblocking import NonBlockingHandle, i_collective
 from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
 from .shmem_backend import SharedRing, ShmemBackend, ShmemComm, ShmemWorld
@@ -47,10 +49,15 @@ from .trace import COMPUTE, MARK, RECV, SEND, Trace, TraceEvent
 
 __all__ = [
     "Communicator",
+    "SubCommunicator",
     "Handle",
     "payload_nbytes",
     "copy_payload",
     "TAG_USER_LIMIT",
+    "Topology",
+    "normalize_topology",
+    "inter_node_bytes",
+    "bytes_by_tier",
     "Backend",
     "register_backend",
     "get_backend",

@@ -103,13 +103,17 @@ class Backend(abc.ABC):
         copy_payloads: bool = True,
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
         """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
 
         Must propagate the first rank failure as :class:`RankError`, abort
-        peers blocked on communication instead of deadlocking, and enforce
-        ``timeout`` (raising :class:`TimeoutError`).
+        peers blocked on communication instead of deadlocking, enforce
+        ``timeout`` (raising :class:`TimeoutError`), and expose
+        ``topology`` (an already-normalized
+        :class:`~repro.runtime.topology.Topology` or ``None``) as
+        ``comm.topology`` on every rank's communicator.
         """
 
     def __repr__(self) -> str:  # pragma: no cover

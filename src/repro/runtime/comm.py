@@ -29,9 +29,30 @@ once, on top of four small transport hooks that each backend provides:
 ``_probe``
     non-blocking test for a pending matching message.
 
-This split is what lets :mod:`repro.runtime.nonblocking` buffer trace
-events of a background collective while the traffic itself flows through
-the real backend, on *any* backend.
+Every traced operation addresses peers through two *mapping hooks* —
+:meth:`Communicator._map_peer` (rank space) and
+:meth:`Communicator._map_tag` (tag space) — that default to the
+identity. Proxy communicators override them to relocate traffic:
+
+* :class:`SubCommunicator` (``comm.split(color, key)`` /
+  ``comm.subgroup(ranks)``) renumbers a rank subset from 0 and shifts
+  its tags into a private window, while payloads flow through the
+  *parent's* transport hooks — so groups work identically on every
+  backend without the backends knowing they exist;
+* :mod:`repro.runtime.nonblocking` buffers trace events of a background
+  collective while its traffic flows through the real backend.
+
+Both proxies compose (a split of a split, a non-blocking collective on a
+sub-communicator) because each hook delegates inward.
+
+Topology
+--------
+:attr:`Communicator.topology` optionally carries a
+:class:`~repro.runtime.topology.Topology` (rank -> host map): derived
+from the rendezvous address map on the socket backend, injected via
+``run_ranks(..., topology=...)`` elsewhere, and restricted automatically
+on sub-communicators. Hierarchical collectives and the algorithm
+selector read it; ``None`` means "assume flat".
 
 Byte accounting
 ---------------
@@ -56,6 +77,7 @@ from .trace import Trace
 
 __all__ = [
     "Communicator",
+    "SubCommunicator",
     "Handle",
     "CompletedHandle",
     "DeferredRecvHandle",
@@ -71,6 +93,26 @@ TAG_USER_LIMIT = 1 << 16
 
 #: number of distinct tags reserved for a single collective invocation.
 COLLECTIVE_TAG_BLOCK = 64
+
+#: tag window layout of sub-communicators: every split/subgroup anywhere
+#: in the nesting tree gets a *globally unique* window id ``w`` and
+#: relocates its whole tag space (user tags plus its own collective
+#: blocks and non-blocking shifts, all well under ``SPLIT_TAG_SPAN``) to
+#: ``SPLIT_TAG_BASE + w * SPLIT_TAG_SPAN``. Ids are allocated from the
+#: (parent window, call slot) pair — linearly for splits of a backend
+#: communicator, via the Cantor pairing for nested splits — so windows
+#: from different nesting paths can never alias, even for sequentially
+#: created overlapping groups used concurrently. The wire header carries
+#: tags as signed 64-bit; :data:`SPLIT_TAG_MAX` bounds the id space and
+#: exhaustion raises instead of wrapping.
+SPLIT_TAG_BASE = 1 << 40
+SPLIT_TAG_SPAN = 1 << 32
+SPLIT_TAG_MAX = 1 << 62
+
+
+def _cantor_pair(a: int, b: int) -> int:
+    """The Cantor pairing function: injective N x N -> N."""
+    return (a + b) * (a + b + 1) // 2 + b
 
 
 class WorldAbortedError(RuntimeError):
@@ -212,8 +254,18 @@ class Communicator(abc.ABC):
     #: backends this is the world trace; proxy communicators (nonblocking
     #: collectives) point it at a private buffer.
     trace: Trace
+    #: optional rank -> host map (:class:`~repro.runtime.topology.Topology`);
+    #: ``None`` means the world is assumed flat. Backends/launchers set it.
+    topology: Any = None
 
     _collective_counter: int = 0
+    _split_counter: int = 0
+    #: window id of this communicator's tag space: 0 = the backend
+    #: communicator's raw space, >= 1 for sub-communicator windows.
+    _split_window_id: int = 0
+    #: absolute offset of this communicator's tag space (0 for backend
+    #: communicators; sub-communicators store their window start).
+    _split_space_base: int = 0
 
     # ------------------------------------------------------------------
     # transport hooks (backend-provided)
@@ -238,6 +290,20 @@ class Communicator(abc.ABC):
         """Hook for proxy communicators that relocate traffic in tag space."""
         return tag
 
+    def _map_peer(self, peer: int) -> int:
+        """Hook for proxy communicators that renumber ranks (sub-comms)."""
+        return peer
+
+    @property
+    def world_rank(self) -> int:
+        """The world-level rank trace events are attributed to.
+
+        Equal to :attr:`rank` on backend communicators; proxies that
+        renumber ranks (sub-communicators) delegate to their parent so
+        byte accounting always lands on the real rank.
+        """
+        return self.rank
+
     # ------------------------------------------------------------------
     # traced point-to-point operations
     # ------------------------------------------------------------------
@@ -261,9 +327,10 @@ class Communicator(abc.ABC):
         self._check_peer(dest, "dest")
         self._check_tag(tag)
         tag = self._map_tag(tag)
+        dest = self._map_peer(dest)
         nbytes = payload_nbytes(obj)
         seq = self._alloc_seq(dest, tag)
-        self.trace.record_send(self.rank, dest, tag, seq, nbytes)
+        self.trace.record_send(self.world_rank, dest, tag, seq, nbytes)
         self._transport_send(obj, nbytes, seq, dest, tag)
 
     def recv(self, source: int, tag: int = 0) -> Any:
@@ -271,8 +338,9 @@ class Communicator(abc.ABC):
         self._check_peer(source, "source")
         self._check_tag(tag)
         tag = self._map_tag(tag)
+        source = self._map_peer(source)
         payload, nbytes, seq = self._transport_recv(source, tag)
-        self.trace.record_recv(self.rank, source, tag, seq, nbytes)
+        self.trace.record_recv(self.world_rank, source, tag, seq, nbytes)
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> "Handle":
@@ -297,11 +365,11 @@ class Communicator(abc.ABC):
         if nbytes < 0:
             raise ValueError(f"compute bytes must be non-negative, got {nbytes}")
         if nbytes:
-            self.trace.record_compute(self.rank, nbytes, label)
+            self.trace.record_compute(self.world_rank, nbytes, label)
 
     def mark(self, label: str) -> None:
         """Insert a phase marker into the trace (zero cost)."""
-        self.trace.record_mark(self.rank, label)
+        self.trace.record_mark(self.world_rank, label)
 
     def next_collective_tag(self) -> int:
         """Allocate a tag block for one collective invocation.
@@ -372,8 +440,157 @@ class Communicator(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # sub-communicators
+    # ------------------------------------------------------------------
+    def _next_split_base(self) -> tuple[int, int]:
+        """Allocate the tag window of one split/subgroup call.
+
+        Every rank makes split calls in the same order (the collective
+        contract), so per-communicator counters stay in sync without
+        communication — groups created in the same call slot share a
+        window, which is safe because their rank sets are disjoint.
+        Window ids are globally injective over the (parent window, slot)
+        tree: splits of a backend communicator take the odd ids linearly
+        (so iterated splitting never runs out), nested splits take even
+        ids through the Cantor pairing. Returns ``(window_id, tag_base
+        relative to this communicator's tag space)``.
+        """
+        slot = self._split_counter
+        self._split_counter += 1
+        if self._split_window_id == 0:
+            window_id = 2 * slot + 1
+        else:
+            window_id = 2 * (_cantor_pair(self._split_window_id, slot) + 1)
+        abs_base = SPLIT_TAG_BASE + window_id * SPLIT_TAG_SPAN
+        if abs_base + SPLIT_TAG_SPAN > SPLIT_TAG_MAX:
+            raise RuntimeError(
+                "sub-communicator tag space exhausted: too many nested "
+                f"splits (window id {window_id})"
+            )
+        return window_id, abs_base - self._split_space_base
+
+    def subgroup(self, ranks: "list[int] | tuple[int, ...]") -> "SubCommunicator | None":
+        """Deterministic group creation — collective, but communication-free.
+
+        Every rank of this communicator must call ``subgroup`` in the same
+        program order; ranks creating *disjoint* groups may pass different
+        lists in the same call slot (the host-group pattern of hierarchical
+        collectives), ranks outside the group they pass get ``None`` back.
+        Use :meth:`split` when memberships must be negotiated at runtime.
+
+        ``ranks`` orders the new communicator: ``ranks[i]`` becomes sub-rank
+        ``i``. Returns the member's :class:`SubCommunicator`, or ``None``.
+        """
+        members = tuple(int(r) for r in ranks)
+        if not members:
+            raise ValueError("a sub-communicator needs at least one rank")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate ranks in subgroup: {members}")
+        for r in members:
+            if not 0 <= r < self.size:
+                raise ValueError(f"rank {r} out of range [0, {self.size})")
+        window_id, tag_base = self._next_split_base()
+        if self.rank not in members:
+            return None
+        return SubCommunicator(self, members, tag_base, window_id)
+
+    def split(self, color: Any, key: int = 0) -> "SubCommunicator | None":
+        """MPI_Comm_split: partition the ranks by ``color``, order by ``key``.
+
+        Collective over this communicator (one gather + one broadcast to
+        exchange the colors). Ranks with equal ``color`` form one
+        sub-communicator whose ranks are ordered by ``(key, parent rank)``;
+        ``color=None`` opts out (the ``MPI_UNDEFINED`` analog) and returns
+        ``None``. Works identically on every backend — the group remaps
+        ranks and tags onto the parent's transport hooks.
+        """
+        if not isinstance(key, int):
+            raise TypeError(f"split key must be an int, got {type(key).__name__}")
+        base = self.next_collective_tag()
+        everyone = self.gather_to_root((color, key), root=0, tag=base)
+        everyone = self.bcast(everyone, root=0, tag=base + 1)
+        if color is None:
+            self._next_split_base()  # keep split counters aligned world-wide
+            return None
+        members = sorted(
+            (r for r, (c, _k) in enumerate(everyone) if c == color),
+            key=lambda r: (everyone[r][1], r),
+        )
+        return self.subgroup(members)
+
+    # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}(rank={self.rank}, size={self.size})"
+
+
+class SubCommunicator(Communicator):
+    """A rank subset of a parent communicator, renumbered from zero.
+
+    Created by :meth:`Communicator.split` / :meth:`Communicator.subgroup`.
+    All traffic flows through the parent's transport hooks with ranks
+    mapped back to parent numbering and tags shifted into the group's
+    private window, so the construction needs nothing from the backend
+    and nests arbitrarily (splits of splits, non-blocking collectives on
+    splits). Trace events keep world-rank attribution; the parent's
+    topology (if any) is restricted to the members automatically.
+    """
+
+    def __init__(
+        self,
+        parent: Communicator,
+        members: tuple[int, ...],
+        tag_base: int,
+        window_id: int,
+    ) -> None:
+        self.parent = parent
+        self._members = members
+        self.rank = members.index(parent.rank)
+        self.size = len(members)
+        self.trace = parent.trace
+        self._tag_base = tag_base
+        self._collective_counter = 0
+        self._split_counter = 0
+        self._split_window_id = window_id
+        # absolute window start: what this comm's nested splits offset from
+        self._split_space_base = parent._split_space_base + tag_base
+        self.topology = (
+            parent.topology.restrict(members) if parent.topology is not None else None
+        )
+
+    @property
+    def world_rank(self) -> int:
+        return self.parent.world_rank
+
+    @property
+    def parent_ranks(self) -> tuple[int, ...]:
+        """Parent-rank of every sub-rank (``parent_ranks[sub] -> parent``)."""
+        return self._members
+
+    # -- mapping hooks: compose with whatever the parent maps ----------
+    def _map_peer(self, peer: int) -> int:
+        return self.parent._map_peer(self._members[peer])
+
+    def _map_tag(self, tag: int) -> int:
+        return self.parent._map_tag(self._tag_base + tag)
+
+    # -- transport hooks: pure delegation (already mapped) -------------
+    def _alloc_seq(self, dest: int, tag: int) -> int:
+        return self.parent._alloc_seq(dest, tag)
+
+    def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
+        self.parent._transport_send(obj, nbytes, seq, dest, tag)
+
+    def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
+        return self.parent._transport_recv(source, tag)
+
+    def _probe(self, source: int, tag: int) -> bool:
+        return self.parent._probe(source, tag)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SubCommunicator(rank={self.rank}, size={self.size}, "
+            f"parent_ranks={list(self._members)})"
+        )
 
 
 class Handle(abc.ABC):
@@ -424,4 +641,6 @@ class DeferredRecvHandle(Handle):
     def test(self) -> bool:
         if self._done:
             return True
-        return self._comm._probe(self._source, self._comm._map_tag(self._tag))
+        return self._comm._probe(
+            self._comm._map_peer(self._source), self._comm._map_tag(self._tag)
+        )

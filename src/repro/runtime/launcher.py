@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .backend import Backend, ParallelResult, RankError, get_backend
+from .topology import Topology, normalize_topology
 from .trace import Trace
 
 __all__ = ["run_ranks", "ParallelResult", "RankError"]
@@ -26,6 +27,7 @@ def run_ranks(
     copy_payloads: bool = True,
     trace: Trace | None = None,
     timeout: float | None = 300.0,
+    topology: "Topology | str | int | None" = None,
     **kwargs: Any,
 ) -> ParallelResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` concurrent ranks.
@@ -51,6 +53,13 @@ def run_ranks(
         collective invocations into one replayable log).
     timeout:
         Per-run watchdog in seconds; ``None`` disables it.
+    topology:
+        Optional rank -> host map surfaced as ``comm.topology`` on every
+        rank: a :class:`~repro.runtime.topology.Topology`, an ``"HxR"``
+        spec string (hosts x ranks-per-node, e.g. ``"2x4"``), an ``int``
+        (ranks per node), or a per-rank host list. Lets any backend
+        *simulate* a multi-host world for topology-aware collectives; on
+        the socket backend it overrides the rendezvous-derived map.
 
     Returns
     -------
@@ -69,5 +78,6 @@ def run_ranks(
         copy_payloads=copy_payloads,
         trace=trace,
         timeout=timeout,
+        topology=normalize_topology(topology, nranks),
         **kwargs,
     )

@@ -44,12 +44,24 @@ class _BufferedComm(Communicator):
         self.inner = inner
         self.rank = inner.rank
         self.size = inner.size
-        self.trace = Trace(inner.size)  # the private event buffer
+        # private event buffer, sized to the *world* so events (always
+        # attributed to world ranks) index correctly even when the wrapped
+        # communicator is a sub-communicator of a bigger world
+        self.trace = Trace(inner.trace.nranks)
+        self.topology = inner.topology
         self._tag_base = tag_base
         self._collective_counter = 0
 
+    @property
+    def world_rank(self) -> int:
+        return self.inner.world_rank
+
     def _map_tag(self, tag: int) -> int:
-        return self._tag_base + tag
+        # compose inward so proxies stack (e.g. i_collective on a split)
+        return self.inner._map_tag(self._tag_base + tag)
+
+    def _map_peer(self, peer: int) -> int:
+        return self.inner._map_peer(peer)
 
     # transport delegates to the wrapped backend (tags arrive pre-shifted)
     def _alloc_seq(self, dest: int, tag: int) -> int:
@@ -72,7 +84,7 @@ class _BufferedComm(Communicator):
 
     def flush_into(self, trace: Trace) -> None:
         """Append the buffered events to the real trace (at join time)."""
-        for event in self.trace.events(self.rank):
+        for event in self.trace.events(self.world_rank):
             trace.record(event)
 
 

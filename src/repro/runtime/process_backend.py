@@ -236,6 +236,7 @@ def _child_main(
     in_conns: list[Connection | None],
     result_conn: Connection,
     close_list: list[Connection],
+    topology: Any = None,
 ) -> None:
     """Entry point of one rank process."""
     # under fork every pipe end of every rank was inherited; drop the ones
@@ -248,6 +249,7 @@ def _child_main(
 
     trace = Trace(size)
     comm = ProcessComm(rank, size, out_conns, in_conns, trace)
+    comm.topology = topology
     try:
         result = fn(comm, *args, **kwargs)
         comm.shutdown()
@@ -332,6 +334,7 @@ class ProcessBackend(Backend):
         copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
         if nranks < 1:
@@ -383,6 +386,7 @@ class ProcessBackend(Backend):
                         in_conns[rank],
                         result_pipes[rank][1],
                         close_list,
+                        topology,
                     ),
                     name=f"rank-{rank}",
                     daemon=True,

@@ -655,6 +655,7 @@ def _child_main(
     in_rings: list[SharedRing | None],
     result_conn: Connection,
     close_list: list[Connection],
+    topology: Any = None,
 ) -> None:
     """Entry point of one rank process."""
     # under fork every doorbell/result end of every rank was inherited; drop
@@ -667,6 +668,7 @@ def _child_main(
 
     trace = Trace(size)
     comm = ShmemComm(rank, size, out_rings, in_rings, trace)
+    comm.topology = topology
     try:
         result = fn(comm, *args, **kwargs)
         comm.shutdown()
@@ -699,6 +701,7 @@ class ShmemBackend(Backend):
         copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
         if nranks < 1:
@@ -752,6 +755,7 @@ class ShmemBackend(Backend):
                             in_rings[rank],
                             result_pipes[rank][1],
                             close_list,
+                            topology,
                         ),
                         name=f"rank-{rank}",
                         daemon=True,

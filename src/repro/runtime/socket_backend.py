@@ -53,6 +53,7 @@ import multiprocessing as mp
 import pickle
 import socket
 import struct
+import sys
 import threading
 import time
 from multiprocessing.connection import Connection
@@ -71,6 +72,7 @@ from .process_backend import (
     _finalize_run,
     _portable_exception,
 )
+from .topology import Topology
 from .trace import Trace
 from .wire import decode_message, encode_frame_parts
 
@@ -455,8 +457,16 @@ def _join_world(
     host: str,
     timeout: float,
     trace: Trace,
+    topology: Topology | None = None,
 ) -> SocketComm:
-    """Bind a mesh listener, rendezvous, build the mesh, return the comm."""
+    """Bind a mesh listener, rendezvous, build the mesh, return the comm.
+
+    The rendezvous reply is the full ``rank -> (host, port)`` map; its host
+    column *is* the world's topology, so instead of discarding it after
+    mesh assembly it is kept on the communicator (``comm.topology``) for
+    topology-aware collectives. An explicit ``topology`` (e.g. a simulated
+    multi-host world over loopback) overrides the derived one.
+    """
     listener = _bind_listener(host, 0, nranks)
     try:
         mesh_addr = (host, listener.getsockname()[1])
@@ -464,7 +474,11 @@ def _join_world(
         out_socks, in_socks = _connect_mesh(rank, nranks, listener, addrs, timeout)
     finally:
         listener.close()
-    return SocketComm(rank, nranks, out_socks, in_socks, trace)
+    comm = SocketComm(rank, nranks, out_socks, in_socks, trace)
+    comm.topology = (
+        topology if topology is not None else Topology(tuple(h for h, _p in addrs))
+    )
+    return comm
 
 
 # ----------------------------------------------------------------------
@@ -498,6 +512,7 @@ def _socket_child_main(
     setup_timeout: float,
     result_conn: Connection,
     close_list: list,
+    topology: Topology | None = None,
 ) -> None:
     """Entry point of one rank process."""
     # under fork every result-pipe end and the rendezvous listener were
@@ -510,7 +525,9 @@ def _socket_child_main(
 
     trace = Trace(nranks)
     try:
-        comm = _join_world(rank, nranks, rdv_addr, "127.0.0.1", setup_timeout, trace)
+        comm = _join_world(
+            rank, nranks, rdv_addr, "127.0.0.1", setup_timeout, trace, topology
+        )
     except BaseException as exc:  # noqa: BLE001 - setup failure is the rank failure
         result_conn.send(("error", rank, _portable_exception(exc), []))
         result_conn.close()
@@ -565,6 +582,7 @@ class SocketBackend(ProcessBackend):
         copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        topology: Topology | None = None,
         **kwargs: Any,
     ) -> ParallelResult:
         if nranks < 1:
@@ -602,6 +620,7 @@ class SocketBackend(ProcessBackend):
                         setup_timeout,
                         result_pipes[rank][1],
                         close_list,
+                        topology,
                     ),
                     name=f"rank-{rank}",
                     daemon=True,
@@ -701,6 +720,7 @@ def serve_rank(
     program: "str | Callable[..., Any] | None" = None,
     host: str = "127.0.0.1",
     rendezvous_timeout: float = DEFAULT_RENDEZVOUS_TIMEOUT,
+    verbose: bool = False,
 ) -> Any:
     """Run one rank of a multi-host socket world and return its result.
 
@@ -710,6 +730,11 @@ def serve_rank(
     ``rendezvous`` address. ``host`` is the address *peers* use to reach
     this rank's mesh listener, so on a real cluster pass the machine's
     routable IP (the loopback default only assembles single-host worlds).
+
+    The rank program sees the assembled ``(rank, host)`` map as
+    ``comm.topology``, so topology-aware collectives (``ssar_hier``)
+    exploit host locality automatically; ``verbose=True`` additionally
+    logs the host grouping to stderr once the world assembles.
     """
     if not 0 <= rank < nranks:
         raise ValueError(f"rank {rank} out of range [0, {nranks})")
@@ -726,6 +751,12 @@ def serve_rank(
         server.start()
     trace = Trace(nranks)
     comm = _join_world(rank, nranks, rendezvous, host, rendezvous_timeout, trace)
+    if verbose:
+        print(
+            f"[serve-rank {rank}/{nranks}] world assembled: "
+            f"{comm.topology.describe()}",
+            file=sys.stderr,
+        )
     try:
         result = fn(comm)
         comm.shutdown()

@@ -45,12 +45,20 @@ __all__ = [
 class ThreadWorld:
     """Shared state of one parallel run: mailboxes, trace, failure flag."""
 
-    def __init__(self, size: int, *, copy_payloads: bool = True, trace: Trace | None = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        *,
+        copy_payloads: bool = True,
+        trace: Trace | None = None,
+        topology: Any = None,
+    ) -> None:
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
         self.size = size
         self.copy_payloads = copy_payloads
         self.trace = trace if trace is not None else Trace(size)
+        self.topology = topology
         self.aborted = threading.Event()
         self._mailboxes = MailboxRegistry()
 
@@ -77,6 +85,7 @@ class ThreadComm(Communicator):
         self.rank = rank
         self.size = world.size
         self.trace = world.trace
+        self.topology = world.topology
         self._collective_counter = 0
 
     # ------------------------------------------------------------------
@@ -111,11 +120,14 @@ class ThreadBackend(Backend):
         copy_payloads: bool = True,
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
-        world = ThreadWorld(nranks, copy_payloads=copy_payloads, trace=trace)
+        world = ThreadWorld(
+            nranks, copy_payloads=copy_payloads, trace=trace, topology=topology
+        )
         results: list[Any] = [None] * nranks
         errors: list[tuple[int, BaseException]] = []
         errors_lock = threading.Lock()

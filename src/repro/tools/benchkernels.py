@@ -18,7 +18,14 @@ diff against. Three layers are measured:
     per-backend, per-algorithm end-to-end sparse allreduce time at the
     paper's micro-benchmark shape (N = 2^20, uniform random support)
     across densities, measured as sustained back-to-back operations
-    inside the ranks (robust to barrier skew and process start-up).
+    inside the ranks (robust to barrier skew and process start-up). The
+    world carries a simulated two-host topology so ``ssar_hier`` rows
+    measure the real hierarchical schedule;
+``hierarchy``
+    byte accounting per algorithm on the simulated two-host world at the
+    headline density: total vs *inter-node* traffic (the volume
+    hierarchical reduction exists to shrink), plus the two-tier
+    Appendix-B expectations for reference.
 
 Every measurement reports ``best`` (minimum) and ``median`` seconds.
 ``--quick`` shrinks sizes and iteration counts to a few seconds total for
@@ -35,19 +42,21 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..analysis.density import expected_two_tier_sizes
 from ..collectives import (
+    ssar_hierarchical,
     ssar_recursive_double,
     ssar_ring,
     ssar_split_allgather,
 )
-from ..runtime import run_ranks
+from ..runtime import Topology, bytes_by_tier, normalize_topology, run_ranks
 from ..runtime.wire import decode_message, encode_message
 from ..streams import MergeScratch, SparseStream, add_streams_, merge_sparse_pairs
 
 __all__ = ["run_bench", "write_bench", "DEFAULT_OUT"]
 
 #: schema version of the JSON document (bump on layout changes).
-SCHEMA = 1
+SCHEMA = 2
 
 #: repo root (src/repro/tools/ -> three levels up).
 DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_microkernels.json"
@@ -56,7 +65,13 @@ ALGOS = {
     "ssar_rec_dbl": ssar_recursive_double,
     "ssar_split_ag": ssar_split_allgather,
     "ssar_ring": ssar_ring,
+    "ssar_hier": ssar_hierarchical,
 }
+
+
+def _two_host_topology(nranks: int) -> Topology:
+    """The simulated cluster of the bench: two hosts, ranks split evenly."""
+    return Topology.uniform(nranks, max(1, (nranks + 1) // 2))
 
 
 def _stats(samples: list[float]) -> dict[str, float]:
@@ -186,6 +201,7 @@ def _bench_allreduce(
     nranks: int,
     iters: int,
     repeats: int,
+    topology: Topology,
 ) -> dict[str, Any]:
     out: dict[str, Any] = {}
     for backend in backends:
@@ -198,12 +214,56 @@ def _bench_allreduce(
                 for _ in range(repeats):
                     res = run_ranks(
                         _allreduce_rank, nranks, algo, dimension, nnz, iters,
-                        backend=backend, timeout=600.0,
+                        backend=backend, timeout=600.0, topology=topology,
                     )
                     samples.append(max(res.results))  # slowest rank = op latency
                 per_density[f"density_{density:g}"] = _stats(samples)
             per_algo[algo] = per_density
         out[backend] = per_algo
+    return out
+
+
+# ----------------------------------------------------------------------
+# layer 4: per-tier byte accounting on the simulated two-host world
+# ----------------------------------------------------------------------
+def _one_allreduce_rank(comm, algo_name: str, dimension: int, nnz: int):
+    algo = ALGOS[algo_name]
+    gen = np.random.default_rng(100 + comm.rank)
+    algo(comm, SparseStream.random_uniform(dimension, nnz, gen))
+
+
+def _bench_hierarchy(
+    algos: list[str], dimension: int, nnz: int, nranks: int, topology: Topology
+) -> dict[str, Any]:
+    """Classify each algorithm's traffic into intra-/inter-host bytes.
+
+    Byte accounting is backend-invariant (pinned by the equivalence
+    suite), so one thread-backend run per algorithm suffices; the point
+    is the *inter-node* column, which ``ssar_hier`` shrinks by sending
+    only the per-host merged unions across the slow tier.
+    """
+    k_local, k_total = expected_two_tier_sizes(
+        nnz, dimension, nranks, topology.max_ranks_per_node
+    )
+    out: dict[str, Any] = {
+        "topology": topology.describe(),
+        "nnz_per_rank": nnz,
+        "expected_k_local": round(k_local, 1),
+        "expected_k_total": round(k_total, 1),
+        "per_algorithm": {},
+    }
+    for algo in algos:
+        res = run_ranks(
+            _one_allreduce_rank, nranks, algo, dimension, nnz,
+            backend="thread", timeout=600.0, topology=topology,
+        )
+        intra, inter = bytes_by_tier(res.trace, topology)
+        out["per_algorithm"][algo] = {
+            "total_bytes": intra + inter,
+            "intra_node_bytes": intra,
+            "inter_node_bytes": inter,
+            "messages": res.trace.total_messages,
+        }
     return out
 
 
@@ -218,12 +278,21 @@ def run_bench(
     nranks: int | None = None,
     backends: list[str] | None = None,
     algos: list[str] | None = None,
+    topology: str | None = None,
 ) -> dict[str, Any]:
-    """Execute every layer and return the JSON-ready result document."""
+    """Execute every layer and return the JSON-ready result document.
+
+    ``topology`` is an ``HxR`` spec for the simulated world the allreduce
+    and hierarchy layers run on (it must describe ``nranks`` ranks);
+    default is two hosts with the ranks split evenly.
+    """
     if quick:
         dimension = dimension or (1 << 16)
         densities = densities or [0.01]
-        nranks = nranks or 2
+        # 4 ranks so the default two-host world is genuinely hierarchical
+        # (2 hosts x 2 ranks) and the ssar_hier rows exercise the real
+        # tree-reduce/leader/bcast schedule even in the CI smoke pass
+        nranks = nranks or 4
         micro_iters, rt_iters, e2e_iters, repeats = 3, 3, 1, 1
         rt_sizes = [max(1, dimension // 100)]
     else:
@@ -235,6 +304,11 @@ def run_bench(
     backends = backends or ["thread", "process", "shmem", "socket"]
     algos = algos or sorted(ALGOS)
     headline_nnz = int(round(dimension * 0.01))
+    topo = (
+        normalize_topology(topology, nranks)
+        if topology is not None
+        else _two_host_topology(nranks)
+    )
 
     doc: dict[str, Any] = {
         "schema": SCHEMA,
@@ -245,6 +319,7 @@ def run_bench(
             "nranks": nranks,
             "backends": backends,
             "algorithms": algos,
+            "topology": topo.describe(),
             "cpu_count": __import__("os").cpu_count(),
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -253,8 +328,9 @@ def run_bench(
         "microkernels": _bench_microkernels(dimension, headline_nnz, micro_iters),
         "transport_roundtrip": _bench_transport(backends, dimension, rt_sizes, rt_iters),
         "allreduce": _bench_allreduce(
-            backends, algos, dimension, densities, nranks, e2e_iters, repeats
+            backends, algos, dimension, densities, nranks, e2e_iters, repeats, topo
         ),
+        "hierarchy": _bench_hierarchy(algos, dimension, headline_nnz, nranks, topo),
     }
 
     # headline comparison: shmem vs process at the reference point
@@ -320,6 +396,14 @@ def render_summary(doc: dict[str, Any]) -> str:
                 for dk, st in per_d.items()
             )
             lines.append(f"  {bk:8s} {algo:14s} {row}")
+    hier = doc.get("hierarchy")
+    if hier:
+        lines.append(f"byte accounting on {hier['topology']} (inter-node / total):")
+        for algo, row in hier["per_algorithm"].items():
+            lines.append(
+                f"  {algo:14s} {row['inter_node_bytes'] / 1e3:9.1f}kB / "
+                f"{row['total_bytes'] / 1e3:9.1f}kB"
+            )
     if doc.get("headline"):
         lines.append("headline speedups (shmem vs process):")
         for k, v in doc["headline"].items():

@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="runtime backend executing the measured collectives",
     )
+    nodes.add_argument(
+        "--ranks-per-node", type=int, default=None, metavar="R",
+        help="simulate hosts of R ranks each (enables the ssar_hier rows)",
+    )
 
     dens = sub.add_parser("sweep-density", help="reduction time vs density")
     dens.add_argument("--dimension", type=int, default=1 << 20)
@@ -94,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         default="thread",
         help="runtime backend executing the measured collectives",
+    )
+    dens.add_argument(
+        "--ranks-per-node", type=int, default=None, metavar="R",
+        help="simulate hosts of R ranks each (enables the ssar_hier rows)",
     )
 
     ek = sub.add_parser("expected-k", help="App. B expected reduced size table")
@@ -118,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--nranks", type=int, default=None)
     bench.add_argument(
         "--backends", nargs="+", choices=available_backends(), default=None
+    )
+    bench.add_argument(
+        "--topology", default=None, metavar="HxR",
+        help="simulated world for the allreduce/hierarchy layers, e.g. 2x2 "
+             "(must describe --nranks ranks; default: two hosts, even split)",
     )
 
     serve = sub.add_parser(
@@ -194,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             program=args.program,
             host=args.host,
             rendezvous_timeout=args.timeout,
+            verbose=True,  # log the assembled (rank, host) grouping
         )
         print(f"rank {args.rank}/{args.nranks} finished: {result!r}")
         return 0
@@ -207,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
             densities=args.densities,
             nranks=args.nranks,
             backends=args.backends,
+            topology=args.topology,
         )
         path = write_bench(doc, args.out)
         print(render_summary(doc))
@@ -222,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
             algorithms=args.algorithms,
             seed=args.seed,
             backend=args.backend,
+            ranks_per_node=args.ranks_per_node,
         )
         print(
             f"reduction time vs node count (N={args.dimension}, "
@@ -239,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
             algorithms=args.algorithms,
             seed=args.seed,
             backend=args.backend,
+            ranks_per_node=args.ranks_per_node,
         )
         print(
             f"reduction time vs density (N={args.dimension}, "

@@ -19,12 +19,13 @@ from ..collectives import (
     allreduce_recursive_doubling,
     allreduce_ring,
     dsar_split_allgather,
+    ssar_hierarchical,
     ssar_recursive_double,
     ssar_ring,
     ssar_split_allgather,
 )
 from ..netsim import PRESETS, NetworkModel, replay
-from ..runtime import run_ranks
+from ..runtime import Topology, run_ranks
 from ..streams import SparseStream
 
 __all__ = ["SweepPoint", "sweep_node_counts", "sweep_densities", "ALGORITHM_SET"]
@@ -33,6 +34,7 @@ ALGORITHM_SET = {
     "ssar_rec_dbl": ("sparse", ssar_recursive_double),
     "ssar_split_ag": ("sparse", ssar_split_allgather),
     "ssar_ring": ("sparse", ssar_ring),
+    "ssar_hier": ("sparse", ssar_hierarchical),
     "dsar_split_ag": ("sparse", dsar_split_allgather),
     "dense_rabenseifner": ("dense", allreduce_rabenseifner),
     "dense_ring": ("dense", allreduce_ring),
@@ -73,8 +75,14 @@ def _measure(
     model: NetworkModel,
     seed: int,
     backend: str = "thread",
+    ranks_per_node: int | None = None,
 ) -> SweepPoint:
     kind, algo = ALGORITHM_SET[name]
+    topology = (
+        Topology.uniform(nranks, min(ranks_per_node, nranks))
+        if ranks_per_node is not None
+        else None
+    )
 
     def prog(comm):
         gen = np.random.default_rng(seed + comm.rank)
@@ -83,7 +91,7 @@ def _measure(
             return algo(comm, stream.to_dense())
         return algo(comm, stream)
 
-    out = run_ranks(prog, nranks, backend=backend)
+    out = run_ranks(prog, nranks, backend=backend, topology=topology)
     timing = replay(out.trace, model)
     return SweepPoint(
         algorithm=name,
@@ -104,18 +112,21 @@ def sweep_node_counts(
     algorithms: list[str] | None = None,
     seed: int = 9000,
     backend: str = "thread",
+    ranks_per_node: int | None = None,
 ) -> list[SweepPoint]:
     """Reduction time vs node count (the Fig. 3 left sweep).
 
     Returns one :class:`SweepPoint` per (algorithm, P); ``backend`` selects
-    the runtime transport the measured run executes on.
+    the runtime transport the measured run executes on. ``ranks_per_node``
+    simulates hosts of that many ranks each, making the ``ssar_hier``
+    rows exercise a real two-tier schedule.
     """
     model = _resolve_model(network)
     algorithms = algorithms or list(ALGORITHM_SET)
     _validate_algorithms(algorithms)
     nnz = max(1, int(dimension * density))
     return [
-        _measure(name, P, dimension, nnz, model, seed, backend)
+        _measure(name, P, dimension, nnz, model, seed, backend, ranks_per_node)
         for name in algorithms
         for P in node_counts
     ]
@@ -129,6 +140,7 @@ def sweep_densities(
     algorithms: list[str] | None = None,
     seed: int = 9000,
     backend: str = "thread",
+    ranks_per_node: int | None = None,
 ) -> list[SweepPoint]:
     """Reduction time vs per-node density (the Fig. 3 right sweep)."""
     model = _resolve_model(network)
@@ -140,7 +152,9 @@ def sweep_densities(
             raise ValueError(f"density must be in (0, 1], got {d}")
         nnz = max(1, int(dimension * d))
         for name in algorithms:
-            points.append(_measure(name, nranks, dimension, nnz, model, seed, backend))
+            points.append(
+                _measure(name, nranks, dimension, nnz, model, seed, backend, ranks_per_node)
+            )
     return points
 
 

@@ -19,6 +19,7 @@ from repro.collectives import (
     run_sparse_allreduce,
     sparse_allgather,
     sparse_allreduce,
+    ssar_hierarchical,
     ssar_recursive_double,
     ssar_ring,
     ssar_split_allgather,
@@ -35,6 +36,7 @@ SPARSE_ALGOS = {
     "ssar_rec_dbl": ssar_recursive_double,
     "ssar_split_ag": ssar_split_allgather,
     "ssar_ring": ssar_ring,
+    "ssar_hier": ssar_hierarchical,  # flat fallback path; non-flat below
     "dsar_split_ag": dsar_split_allgather,
 }
 DENSE_ALGOS = {
@@ -88,6 +90,81 @@ class TestSparseCollectiveEquivalence:
             assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent, backend
             for r in range(nranks):
                 assert thread_out.trace.bytes_sent_by(r) == other_out.trace.bytes_sent_by(r)
+
+
+@pytest.mark.parametrize("nranks", WORLD_SIZES)
+def test_hier_equivalence_on_simulated_hosts(nranks):
+    """ssar_hier under a non-flat topology: every backend agrees bit for
+    bit (results and byte accounting) on a simulated two-host world."""
+    ranks_per_node = max(1, (nranks + 1) // 2)
+    streams = [make_rank_stream(DIM, NNZ, r) for r in range(nranks)]
+    by_backend = {
+        b: run_sparse_allreduce(streams, "ssar_hier", backend=b, topology=ranks_per_node)
+        for b in BACKENDS
+    }
+    ref = reference_sum(DIM, NNZ, nranks)
+    thread_out = by_backend["thread"]
+    for backend in BACKENDS[1:]:
+        other_out = by_backend[backend]
+        for r in range(nranks):
+            t, o = thread_out[r].to_dense(), other_out[r].to_dense()
+            assert np.array_equal(t, o), f"P={nranks} rank {r}: thread vs {backend}"
+            assert np.allclose(t, ref, atol=1e-4)
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
+
+
+SPLIT_SCHEMES = {
+    # color, key as functions of (rank, size): parity groups, reversed-key
+    # halves, and a split that excludes rank 0 entirely (color None)
+    "parity": lambda rank, size: (rank % 2, 0),
+    "halves_reversed": lambda rank, size: (rank * 2 // max(size, 1), -rank),
+    "exclude_rank0": lambda rank, size: (None if rank == 0 else 0, rank),
+}
+
+
+def _split_prog(comm, scheme_name):
+    color, key = SPLIT_SCHEMES[scheme_name](comm.rank, comm.size)
+    sub = comm.split(color, key)
+    if sub is None:
+        return None
+    out = ssar_recursive_double(sub, make_rank_stream(DIM, NNZ, comm.rank))
+    return (sub.rank, sub.size, sub.parent_ranks, out)
+
+
+@pytest.mark.parametrize("nranks", [2, 3, 4, 8])
+@pytest.mark.parametrize("scheme", sorted(SPLIT_SCHEMES))
+class TestSplitEquivalence:
+    """comm.split joins the equivalence layer: identical group shapes and
+    bit-identical collective results on every backend."""
+
+    def test_split_collectives_bit_identical(self, scheme, nranks):
+        by_backend = {
+            b: run_ranks(_split_prog, nranks, scheme, backend=b) for b in BACKENDS
+        }
+        thread_out = by_backend["thread"]
+        for backend in BACKENDS[1:]:
+            other_out = by_backend[backend]
+            for r in range(nranks):
+                t, o = thread_out[r], other_out[r]
+                assert (t is None) == (o is None), f"{scheme} rank {r} on {backend}"
+                if t is None:
+                    continue
+                assert t[:3] == o[:3], f"{scheme} rank {r}: group shape differs"
+                assert np.array_equal(t[3].to_dense(), o[3].to_dense()), (
+                    f"{scheme} P={nranks} rank {r}: thread vs {backend} differ"
+                )
+            assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
+
+    def test_split_results_match_member_reference(self, scheme, nranks):
+        out = run_ranks(_split_prog, nranks, scheme, backend="thread")
+        for r in range(nranks):
+            if out[r] is None:
+                continue
+            _sub_rank, _sub_size, members, reduced = out[r]
+            ref = sum(
+                make_rank_stream(DIM, NNZ, m).to_dense() for m in members
+            )
+            assert np.allclose(reduced.to_dense(), ref, atol=1e-4)
 
 
 @pytest.mark.parametrize("nranks", WORLD_SIZES)

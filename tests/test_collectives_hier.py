@@ -1,0 +1,219 @@
+"""Hierarchical sparse allreduce (``ssar_hier``) and its selector wiring.
+
+Covers the correctness contract (same sum as every flat algorithm on any
+topology), the bit-compatibility guarantee with ``ssar_rec_dbl`` on
+power-of-two aligned host groups, the inter-node byte savings that are
+the algorithm's reason to exist, and the two-host socket smoke leg CI
+pins (2 simulated hosts x 2 ranks over TCP loopback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import expected_two_tier_sizes, expected_union_size
+from repro.collectives import (
+    run_sparse_allreduce,
+    sparse_allreduce,
+    ssar_hierarchical,
+    tree_reduce,
+)
+from repro.runtime import RankError, Topology, bytes_by_tier, run_ranks
+from repro.streams import SparseStream
+
+from conftest import make_rank_stream, reference_sum
+
+DIM, NNZ = 2048, 64
+
+
+def _hier_prog(comm, topology=None, inner="ssar_rec_dbl"):
+    stream = make_rank_stream(DIM, NNZ, comm.rank)
+    return ssar_hierarchical(comm, stream, topology=topology, inner=inner)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "nranks,topology",
+        [
+            (1, None),
+            (2, "2x1"),
+            (3, 2),  # ragged: node0=[0,1] node1=[2]
+            (4, None),  # flat fallback
+            (4, "2x2"),
+            (5, 2),
+            (6, 3),
+            (8, "2x4"),
+            (8, "4x2"),
+            (8, ("a", "a", "a", "b", "b", "c", "c", "c")),  # uneven hosts
+        ],
+    )
+    def test_matches_dense_reference(self, nranks, topology):
+        out = run_ranks(_hier_prog, nranks, topology, backend="thread")
+        ref = reference_sum(DIM, NNZ, nranks)
+        for r in range(nranks):
+            assert np.allclose(out[r].to_dense(), ref, atol=1e-4), f"rank {r}"
+        # the allreduce contract: every rank holds the identical result
+        for r in range(1, nranks):
+            assert np.array_equal(out[0].to_dense(), out[r].to_dense())
+
+    @pytest.mark.parametrize("inner", ["ssar_rec_dbl", "ssar_split_ag", "ssar_ring"])
+    def test_every_inner_kernel(self, inner):
+        out = run_ranks(_hier_prog, 8, "2x4", inner, backend="thread")
+        ref = reference_sum(DIM, NNZ, 8)
+        for r in range(8):
+            assert np.allclose(out[r].to_dense(), ref, atol=1e-4)
+
+    def test_unknown_inner_rejected(self):
+        with pytest.raises(RankError, match="unknown inner"):
+            run_ranks(_hier_prog, 2, None, "nope", backend="thread")
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(RankError, match="describes 4 ranks"):
+            run_ranks(_hier_prog, 2, Topology.uniform(4, 2), backend="thread")
+
+    def test_comm_topology_is_the_default(self):
+        """With no explicit argument the communicator's map drives grouping."""
+
+        def prog(comm):
+            return ssar_hierarchical(comm, make_rank_stream(DIM, NNZ, comm.rank))
+
+        out = run_ranks(prog, 4, backend="thread", topology="2x2")
+        assert np.allclose(out[0].to_dense(), reference_sum(DIM, NNZ, 4), atol=1e-4)
+
+    def test_empty_streams(self):
+        def prog(comm):
+            return ssar_hierarchical(
+                comm, SparseStream(DIM), topology=Topology.uniform(4, 2)
+            )
+
+        out = run_ranks(prog, 4, backend="thread")
+        assert out[0].nnz == 0
+
+    def test_dense_input_handled(self):
+        """Dense-representation inputs are sparsified first, like the other
+        SSAR entry points."""
+
+        def prog(comm):
+            dense_in = make_rank_stream(DIM, NNZ, comm.rank).densify()
+            return ssar_hierarchical(comm, dense_in, topology="2x2")
+
+        out = run_ranks(prog, 4, backend="thread")
+        assert np.allclose(out[0].to_dense(), reference_sum(DIM, NNZ, 4), atol=1e-4)
+
+
+class TestBitCompatibility:
+    """On power-of-two aligned host groups the hierarchical schedule applies
+    the exact floating-point association of recursive doubling."""
+
+    @pytest.mark.parametrize(
+        "nranks,topology",
+        [(2, None), (4, None), (8, None), (4, "2x2"), (8, "2x4"), (8, "4x2"), (3, 3)],
+    )
+    def test_bit_identical_to_rec_dbl(self, nranks, topology):
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(nranks)]
+        hier = run_sparse_allreduce(streams, "ssar_hier", topology=topology)
+        rec = run_sparse_allreduce(streams, "ssar_rec_dbl", topology=topology)
+        for r in range(nranks):
+            assert np.array_equal(hier[r].to_dense(), rec[r].to_dense()), f"rank {r}"
+            assert hier[r].is_dense == rec[r].is_dense
+
+
+class TestInterNodeSavings:
+    def test_hier_moves_fewer_inter_node_bytes(self):
+        """The point of the algorithm: only merged unions cross the slow tier."""
+        topo = Topology.from_spec("2x4")
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(8)]
+        by_algo = {
+            algo: run_sparse_allreduce(streams, algo, topology=topo)
+            for algo in ("ssar_hier", "ssar_rec_dbl", "ssar_split_ag", "ssar_ring")
+        }
+        inter = {a: bytes_by_tier(res.trace, topo)[1] for a, res in by_algo.items()}
+        assert inter["ssar_hier"] < inter["ssar_rec_dbl"]
+        assert inter["ssar_hier"] < inter["ssar_split_ag"]
+        assert inter["ssar_hier"] < inter["ssar_ring"]
+
+    def test_flat_topology_has_zero_inter_bytes(self):
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(4)]
+        out = run_sparse_allreduce(streams, "ssar_hier")
+        assert bytes_by_tier(out.trace, Topology.flat(4)) == (
+            out.trace.total_bytes_sent,
+            0,
+        )
+
+    def test_two_tier_model_bounds_leader_payload(self):
+        """App. B extended: the leader union is smaller than m*k but at
+        least k — the volume the slow tier is spared."""
+        k_local, k_total = expected_two_tier_sizes(NNZ, DIM, 8, 4)
+        assert NNZ <= k_local < 4 * NNZ
+        assert k_local <= k_total == expected_union_size(NNZ, DIM, 8)
+        with pytest.raises(ValueError):
+            expected_two_tier_sizes(NNZ, DIM, 4, 8)
+        with pytest.raises(ValueError):
+            expected_two_tier_sizes(NNZ, DIM, 4, 0)
+
+
+class TestTreeReduce:
+    def test_root_holds_union_others_partial(self):
+        def prog(comm):
+            return tree_reduce(comm, make_rank_stream(DIM, NNZ, comm.rank)).to_dense()
+
+        out = run_ranks(prog, 5, backend="thread")
+        assert np.allclose(out[0], reference_sum(DIM, NNZ, 5), atol=1e-4)
+
+    def test_single_rank_copy(self):
+        def prog(comm):
+            s = make_rank_stream(DIM, NNZ, comm.rank)
+            out = tree_reduce(comm, s)
+            assert out is not s
+            return np.array_equal(out.to_dense(), s.to_dense())
+
+        assert run_ranks(prog, 1).results == [True]
+
+
+class TestAutoSelection:
+    def test_auto_picks_hier_on_hierarchical_world(self):
+        def prog(comm):
+            out = sparse_allreduce(
+                comm, make_rank_stream(DIM, NNZ, comm.rank), algorithm="auto"
+            )
+            marks = [
+                e.label
+                for e in comm.trace.events(comm.rank)
+                if e.op == "mark"
+            ]
+            return ("ssar_hier" in marks, out.to_dense())
+
+        out = run_ranks(prog, 4, backend="thread", topology="2x2")
+        picked, dense = out[0]
+        assert picked
+        assert np.allclose(dense, reference_sum(DIM, NNZ, 4), atol=1e-4)
+
+    def test_auto_stays_flat_without_topology(self):
+        def prog(comm):
+            sparse_allreduce(comm, make_rank_stream(DIM, NNZ, comm.rank), "auto")
+            return [
+                e.label for e in comm.trace.events(comm.rank) if e.op == "mark"
+            ]
+
+        out = run_ranks(prog, 4, backend="thread")
+        assert "ssar_hier" not in out[0]
+
+
+@pytest.mark.parametrize("nranks,topology", [(4, "2x2")])
+class TestSocketTwoHostSmoke:
+    """The CI hierarchical smoke leg: 2 simulated hosts x 2 ranks over the
+    socket backend on loopback, bit-for-bit against ssar_rec_dbl."""
+
+    def test_socket_two_host_bit_identical(self, nranks, topology):
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(nranks)]
+        hier = run_sparse_allreduce(
+            streams, "ssar_hier", backend="socket", topology=topology
+        )
+        rec = run_sparse_allreduce(
+            streams, "ssar_rec_dbl", backend="socket", topology=topology
+        )
+        ref = reference_sum(DIM, NNZ, nranks)
+        topo = Topology.from_spec(topology)
+        for r in range(nranks):
+            assert np.array_equal(hier[r].to_dense(), rec[r].to_dense()), f"rank {r}"
+            assert np.allclose(hier[r].to_dense(), ref, atol=1e-4)
+        assert bytes_by_tier(hier.trace, topo)[1] < bytes_by_tier(rec.trace, topo)[1]

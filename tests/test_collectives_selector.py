@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.collectives import SMALL_MESSAGE_BYTES, choose_algorithm
+from repro.collectives import (
+    ALGORITHMS,
+    RING_MIN_RANKS,
+    SMALL_MESSAGE_BYTES,
+    SPARSE_ALGORITHMS,
+    choose_algorithm,
+)
 from repro.config import delta_threshold
+from repro.runtime import Topology
 
 
 class TestChooseAlgorithm:
@@ -41,6 +48,11 @@ class TestChooseAlgorithm:
         assert choose_algorithm(n, 2, 10, expected_k=k_small) == "ssar_rec_dbl"
         assert choose_algorithm(n, 2, 10, expected_k=k_small * 4) == "ssar_split_ag"
 
+    def test_every_selectable_algorithm_is_runnable(self):
+        """Selector audit: everything in SPARSE_ALGORITHMS has a kernel, and
+        every name the selector can emit is selectable."""
+        assert set(SPARSE_ALGORITHMS) == set(ALGORITHMS)
+
     def test_single_rank(self):
         assert choose_algorithm(1000, 1, 10) in (
             "ssar_rec_dbl",
@@ -56,10 +68,43 @@ class TestChooseAlgorithm:
         with pytest.raises(ValueError):
             choose_algorithm(1000, 4, 2000)
 
-    def test_never_returns_ring(self):
-        """ssar_ring exists only as an explicit comparison point."""
+    def test_ring_requires_bandwidth_bound_instances(self):
+        """ssar_ring is reachable, but only through the bandwidth-bound
+        branch — moderate instances still pick the paper's algorithms."""
         for n, p, k in [(1 << 16, 2, 10), (1 << 20, 32, 5000), (4096, 64, 1000)]:
             assert choose_algorithm(n, p, k) != "ssar_ring"
+
+    def test_ring_selected_when_bandwidth_bound_at_scale(self):
+        """K large enough that even the per-rank slice is past the latency
+        switch point, with enough ranks to amortize the ring's 2(P-1)a."""
+        n = 1 << 26  # delta = n/2 = 2^25
+        k = 1 << 23  # static-sparse (below delta), reduced 64 MB
+        assert choose_algorithm(n, RING_MIN_RANKS, 10, expected_k=k) == "ssar_ring"
+        # not at small scale: the split phase's (P-1)a is cheaper
+        assert choose_algorithm(n, RING_MIN_RANKS - 1, 10, expected_k=k) == "ssar_split_ag"
+        # not when the slice falls under the switch point
+        modest = RING_MIN_RANKS * (SMALL_MESSAGE_BYTES // 8) - 1
+        assert choose_algorithm(n, RING_MIN_RANKS, 10, expected_k=modest) == "ssar_split_ag"
+
+    def test_hier_requires_hierarchical_topology(self):
+        n, p, k = 1 << 20, 8, 100
+        flat_choice = choose_algorithm(n, p, k)
+        assert flat_choice != "ssar_hier"
+        assert choose_algorithm(n, p, k, topology=Topology.flat(p)) == flat_choice
+        assert (
+            choose_algorithm(n, p, k, topology=Topology.uniform(p, 1)) == flat_choice
+        )
+        assert (
+            choose_algorithm(n, p, k, topology=Topology.uniform(p, 4)) == "ssar_hier"
+        )
+
+    def test_dense_fill_in_beats_topology(self):
+        """A dynamic instance goes DSAR even on a hierarchical topology."""
+        n, p, k = 10_000, 64, 2_000
+        assert (
+            choose_algorithm(n, p, k, topology=Topology.uniform(p, 8))
+            == "dsar_split_ag"
+        )
 
     def test_more_ranks_pushes_toward_dsar(self):
         """Fill-in grows with P (Fig. 1): eventually the instance is dynamic."""

@@ -11,7 +11,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.collectives import ssar_recursive_double, ssar_ring, ssar_split_allgather
+from repro.collectives import (
+    ssar_hierarchical,
+    ssar_recursive_double,
+    ssar_ring,
+    ssar_split_allgather,
+)
 from repro.runtime import run_ranks
 
 from conftest import make_rank_stream, reference_sum
@@ -65,6 +70,99 @@ def test_property_slow_all_algorithms_agree_across_backends(nranks, dim, density
             assert (
                 thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
             ), f"{name}: byte accounting differs on {backend}"
+
+
+def _split_prog(comm, colors, keys, dim, nnz, seed):
+    sub = comm.split(colors[comm.rank], keys[comm.rank])
+    if sub is None:
+        return None
+    out = ssar_recursive_double(sub, make_rank_stream(dim, nnz, comm.rank, seed))
+    return (sub.rank, sub.size, sub.parent_ranks, out)
+
+
+@pytest.mark.slow
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nranks=st.integers(min_value=2, max_value=8),
+    dim=st.integers(min_value=8, max_value=800),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 10_000),
+    data=st.data(),
+)
+def test_property_slow_splits_agree_across_backends(nranks, dim, density, seed, data):
+    """Collectives on every random (color, key) split are bit-identical on
+    the thread, process, shmem and socket backends, and each group's result
+    equals its members' reference sum."""
+    nnz = int(round(density * dim))
+    colors = data.draw(
+        st.lists(
+            st.sampled_from([0, 1, 2, None]), min_size=nranks, max_size=nranks
+        ),
+        label="colors",
+    )
+    keys = data.draw(
+        st.lists(st.integers(-3, 3), min_size=nranks, max_size=nranks), label="keys"
+    )
+    outs = {
+        b: run_ranks(_split_prog, nranks, colors, keys, dim, nnz, seed, backend=b)
+        for b in BACKENDS
+    }
+    thread_out = outs["thread"]
+    for r in range(nranks):
+        t = thread_out[r]
+        if colors[r] is None:
+            assert t is None
+            continue
+        members = t[2]
+        ref = sum(make_rank_stream(dim, nnz, m, seed).to_dense() for m in members)
+        assert np.allclose(t[3].to_dense(), ref, atol=1e-3), f"rank {r}: wrong sum"
+    for backend in BACKENDS[1:]:
+        other_out = outs[backend]
+        for r in range(nranks):
+            t, o = thread_out[r], other_out[r]
+            assert (t is None) == (o is None)
+            if t is None:
+                continue
+            assert t[:3] == o[:3], f"rank {r}: group shape differs on {backend}"
+            assert np.array_equal(t[3].to_dense(), o[3].to_dense()), (
+                f"P={nranks} rank {r}: thread vs {backend} disagree"
+            )
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
+
+
+def _hier_prog(comm, dim, nnz, seed):
+    return ssar_hierarchical(comm, make_rank_stream(dim, nnz, comm.rank, seed))
+
+
+@pytest.mark.slow
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    ranks_per_node=st.integers(min_value=1, max_value=8),
+    dim=st.integers(min_value=8, max_value=800),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_property_slow_hier_agrees_across_backends(
+    nranks, ranks_per_node, dim, density, seed
+):
+    """ssar_hier on a random simulated topology: right sum, bit-identical
+    across all four backends."""
+    nnz = int(round(density * dim))
+    topology = min(ranks_per_node, nranks)
+    ref = reference_sum(dim, nnz, nranks, seed)
+    outs = {
+        b: run_ranks(_hier_prog, nranks, dim, nnz, seed, backend=b, topology=topology)
+        for b in BACKENDS
+    }
+    thread_out = outs["thread"]
+    for backend in BACKENDS[1:]:
+        other_out = outs[backend]
+        for r in range(nranks):
+            t, o = thread_out[r].to_dense(), other_out[r].to_dense()
+            assert np.array_equal(t, o), f"P={nranks} rank {r}: thread vs {backend}"
+            assert np.allclose(t, ref, atol=1e-3), f"P={nranks} rank {r}: wrong sum"
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
 
 
 @pytest.mark.slow

@@ -352,6 +352,54 @@ class TestServeRank:
         assert results[0]["checksum"] == ref[0]["checksum"]
         assert results[0]["bytes_sent"] == ref[0]["bytes_sent"]
 
+    def test_topology_exposed_from_rendezvous_map(self, capfd):
+        """The (rank, host) column of the address map becomes comm.topology
+        instead of being discarded after mesh assembly, and verbose mode
+        surfaces the grouping in the logs."""
+        port = _free_port()
+        results, errors = {}, {}
+
+        def program(comm):
+            return (comm.topology.hosts, comm.topology.nnodes)
+
+        def join(rank):
+            try:
+                results[rank] = serve_rank(
+                    ("127.0.0.1", port), rank, 2,
+                    program=program, rendezvous_timeout=30.0, verbose=True,
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+                errors[rank] = exc
+
+        threads = [threading.Thread(target=join, args=(r,)) for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, f"serve_rank ranks failed: {errors}"
+        assert results[0] == (("127.0.0.1", "127.0.0.1"), 1)
+        assert results[0] == results[1]
+        logs = capfd.readouterr().err
+        assert "world assembled" in logs and "127.0.0.1=[0, 1]" in logs
+
+    def test_hier_allreduce_on_simulated_hosts(self):
+        """2 simulated hosts x 2 ranks over TCP loopback: the hierarchical
+        schedule runs on the socket transport and matches the reference."""
+        from repro.runtime import Topology, bytes_by_tier
+
+        def prog(comm):
+            return sparse_allreduce(
+                comm, make_rank_stream(2048, 64, comm.rank), algorithm="ssar_hier"
+            ).to_dense()
+
+        topo = Topology.from_spec("2x2")
+        out = run_ranks(prog, 4, backend=BACKEND, topology=topo)
+        ref = reference_sum(2048, 64, 4)
+        for r in range(4):
+            assert np.allclose(out[r], ref, atol=1e-4)
+        intra, inter = bytes_by_tier(out.trace, topo)
+        assert 0 < inter < intra + inter
+
     def test_rank_out_of_range(self):
         with pytest.raises(ValueError, match="out of range"):
             serve_rank(("127.0.0.1", 1), 2, 2)

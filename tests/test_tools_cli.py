@@ -69,9 +69,20 @@ class TestSweeps:
 
     def test_algorithm_set_complete(self):
         assert set(ALGORITHM_SET) == {
-            "ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "dsar_split_ag",
+            "ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "ssar_hier",
+            "dsar_split_ag",
             "dense_rabenseifner", "dense_ring", "dense_rec_dbl",
         }
+
+    def test_ranks_per_node_enables_hier_sweep(self):
+        points = sweep_node_counts(
+            [4], dimension=2048, density=0.01,
+            algorithms=["ssar_hier", "ssar_rec_dbl"], ranks_per_node=2,
+        )
+        by_algo = {p.algorithm: p for p in points}
+        assert by_algo["ssar_hier"].bytes_sent > 0
+        # fewer messages than flat recursive doubling on a 2x2 world
+        assert by_algo["ssar_hier"].messages <= by_algo["ssar_rec_dbl"].messages
 
 
 class TestCLI:
@@ -128,7 +139,7 @@ class TestBenchKernelsCommand:
         ])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 1 and doc["quick"] is True
+        assert doc["schema"] == 2 and doc["quick"] is True
         assert doc["params"]["dimension"] == 4096
         # every layer present, with sane positive timings
         for name, stats in doc["microkernels"].items():
@@ -138,9 +149,17 @@ class TestBenchKernelsCommand:
         assert set(doc["transport_roundtrip"]) == {"process", "shmem", "socket"}
         assert set(doc["allreduce"]) == {"thread", "process", "shmem", "socket"}
         for per_algo in doc["allreduce"].values():
+            assert "ssar_hier" in per_algo
             for per_density in per_algo.values():
                 for stats in per_density.values():
                     assert stats["best_s"] > 0
+        # the tiered byte-accounting layer covers every algorithm and the
+        # inter-node column never exceeds the total
+        hier = doc["hierarchy"]
+        assert set(hier["per_algorithm"]) == set(doc["params"]["algorithms"])
+        for row in hier["per_algorithm"].values():
+            assert 0 <= row["inter_node_bytes"] <= row["total_bytes"]
+            assert row["intra_node_bytes"] + row["inter_node_bytes"] == row["total_bytes"]
         assert any(k.startswith("e2e_") for k in doc["headline"])
         assert "wrote" in capsys.readouterr().out
 
