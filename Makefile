@@ -38,16 +38,19 @@ smoke:
 bench-kernels:
 	$(RUN) -m repro bench-kernels --quick --out results/BENCH_microkernels.quick.json
 	$(PYTHON) -c "import json; d = json.load(open('results/BENCH_microkernels.quick.json')); \
-	assert d['schema'] == 2 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
-	assert 'ssar_hier' in d['hierarchy']['per_algorithm'], 'missing ssar_hier hierarchy rows'; \
-	assert all('ssar_hier' in per_algo for per_algo in d['allreduce'].values()), 'missing ssar_hier allreduce rows'; \
+	assert d['schema'] == 3 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	hier = d['hierarchy']['per_algorithm']; \
+	assert 'ssar_hier' in hier and 'dsar_hier' in hier, 'missing hier rows'; \
+	assert all('replay_tiered_s' in row and 'replay_flat_s' in row for row in hier.values()), 'missing tiered replay fields'; \
+	assert all(row['replay_tiered_s'] > 0 and row['replay_flat_s'] > 0 for row in hier.values()), 'bad replay makespans'; \
+	assert all('ssar_hier' in per_algo and 'dsar_hier' in per_algo for per_algo in d['allreduce'].values()), 'missing hier allreduce rows'; \
 	print('bench JSON OK')"
 
 bench-kernels-full:
 	$(RUN) -m repro bench-kernels
 
 bench-smoke:
-	$(PYTHON) -m pytest -q benchmarks/test_fig1_fillin.py benchmarks/test_fig7_expected_k.py benchmarks/test_table1_datasets.py
+	$(PYTHON) -m pytest -q benchmarks/test_fig1_fillin.py benchmarks/test_fig7_expected_k.py benchmarks/test_table1_datasets.py benchmarks/test_tiered_replay.py
 
 bench:
 	$(PYTHON) -m pytest -q benchmarks/

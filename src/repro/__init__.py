@@ -45,7 +45,19 @@ from .core import (
     quantized_topk_sgd,
     topk_stream,
 )
-from .netsim import ARIES, GIGE, IB_FDR, NetworkModel, replay
+from .netsim import (
+    ARIES,
+    GIGE,
+    IB_FDR,
+    SHM,
+    TIERED_ARIES,
+    TIERED_GIGE,
+    TIERED_IB_FDR,
+    NetworkModel,
+    TieredNetworkModel,
+    replay,
+    resolve_network,
+)
 from .quant import QSGDQuantizer, QuantizedBlock
 from .runtime import (
     Backend,
@@ -87,10 +99,16 @@ __all__ = [
     "inter_node_bytes",
     "Trace",
     "NetworkModel",
+    "TieredNetworkModel",
     "ARIES",
     "IB_FDR",
     "GIGE",
+    "SHM",
+    "TIERED_ARIES",
+    "TIERED_IB_FDR",
+    "TIERED_GIGE",
     "replay",
+    "resolve_network",
     "INDEX_DTYPE",
     "INDEX_BYTES",
     "delta_threshold",

@@ -15,8 +15,14 @@ from .dense import (
     partition_bounds,
 )
 from .dsar import dsar_split_allgather
-from .hier import ssar_hierarchical, tree_reduce
-from .selector import RING_MIN_RANKS, SMALL_MESSAGE_BYTES, SPARSE_ALGORITHMS, choose_algorithm
+from .hier import dsar_hierarchical, ssar_hierarchical, tree_reduce
+from .selector import (
+    RING_MIN_RANKS,
+    SMALL_MESSAGE_BYTES,
+    SPARSE_ALGORITHMS,
+    choose_algorithm,
+    dense_stage_two_tier_times,
+)
 from .sparse import slice_stream, split_phase, ssar_recursive_double, ssar_ring, ssar_split_allgather
 
 __all__ = [
@@ -34,12 +40,14 @@ __all__ = [
     "allreduce_ring",
     "partition_bounds",
     "dsar_split_allgather",
+    "dsar_hierarchical",
     "ssar_hierarchical",
     "tree_reduce",
     "RING_MIN_RANKS",
     "SMALL_MESSAGE_BYTES",
     "SPARSE_ALGORITHMS",
     "choose_algorithm",
+    "dense_stage_two_tier_times",
     "slice_stream",
     "split_phase",
     "ssar_recursive_double",

@@ -24,7 +24,7 @@ from .dense import (
     allreduce_ring,
 )
 from .dsar import dsar_split_allgather
-from .hier import ssar_hierarchical
+from .hier import dsar_hierarchical, ssar_hierarchical
 from .selector import choose_algorithm
 from .sparse import ssar_recursive_double, ssar_ring, ssar_split_allgather
 
@@ -42,7 +42,11 @@ ALGORITHMS = {
     "ssar_ring": ssar_ring,
     "ssar_hier": ssar_hierarchical,
     "dsar_split_ag": dsar_split_allgather,
+    "dsar_hier": dsar_hierarchical,
 }
+
+#: the dynamic-instance algorithms, whose dense stage takes the quantizer.
+DSAR_ALGORITHMS = ("dsar_split_ag", "dsar_hier")
 
 DENSE = {
     "dense_rec_dbl": allreduce_recursive_doubling,
@@ -79,11 +83,12 @@ def sparse_allreduce(
         ``"auto"`` (selector heuristic of §5.3, topology-aware when the
         communicator carries one), or one of ``ssar_rec_dbl``,
         ``ssar_split_ag``, ``ssar_ring``, ``ssar_hier``,
-        ``dsar_split_ag``.
+        ``dsar_split_ag``, ``dsar_hier``.
     quantizer:
         Optional QSGD quantizer applied to the dense stage; only meaningful
-        for ``dsar_split_ag`` (ignored with a warning-free no-op otherwise,
-        matching the paper: low precision targets the dense case).
+        for the DSAR algorithms (ignored with a warning-free no-op
+        otherwise, matching the paper: low precision targets the dense
+        case).
     op:
         The coordinate-wise reduction (§5.2): a :class:`ReduceOp` or one of
         ``"sum"``, ``"max"``, ``"min"``, ``"prod"``. Missing sparse entries
@@ -107,8 +112,8 @@ def sparse_allreduce(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)} or 'auto'"
         )
     reduce_op = _resolve_op(op)
-    if algorithm == "dsar_split_ag":
-        return dsar_split_allgather(comm, stream, quantizer=quantizer, op=reduce_op)
+    if algorithm in DSAR_ALGORITHMS:
+        return ALGORITHMS[algorithm](comm, stream, quantizer=quantizer, op=reduce_op)
     return ALGORITHMS[algorithm](comm, stream, op=reduce_op)
 
 

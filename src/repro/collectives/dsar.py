@@ -58,8 +58,20 @@ def dsar_split_allgather(
     """
     stream = _ensure_sparse(stream)
     if comm.size == 1:
-        out = stream.copy()
-        return out.densify(fill=op.neutral)
+        # the single rank owns the single partition: it must still densify
+        # *and* quantize it exactly once, so the P=1 result follows the
+        # same distribution as every P>1 run (where each partition is
+        # quantized once by its owner)
+        block = stream.to_dense(fill=op.neutral)
+        comm.compute(block.nbytes, "densify")
+        if quantizer is not None:
+            qblock = quantizer.quantize(block)
+            comm.compute(block.nbytes, "quantize")
+            block = quantizer.dequantize(qblock).astype(stream.value_dtype)
+            comm.compute(block.nbytes, "dequantize")
+        return SparseStream(
+            stream.dimension, dense=block, value_dtype=stream.value_dtype, copy=False
+        )
     base = comm.next_collective_tag()
     bounds = partition_bounds(stream.dimension, comm.size)
     reduced = split_phase(comm, stream, bounds, base, op, MergeScratch())

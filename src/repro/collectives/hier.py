@@ -1,4 +1,4 @@
-"""Topology-aware hierarchical sparse allreduce (SSAR_Hierarchical).
+"""Topology-aware hierarchical allreduce (SSAR_Hierarchical + DSAR_Hier).
 
 SparCML's large-scale results (§6) come from clusters whose intra-node
 links are an order of magnitude faster than the network between nodes.
@@ -35,18 +35,35 @@ bit* whenever the host groups are aligned power-of-two blocks (e.g. flat
 worlds or uniform ``2x2``/``2x4``/``4x2`` topologies), because both then
 apply the same floating-point association; on other shapes the results
 agree up to float rounding.
+
+:func:`dsar_hierarchical` is the *dense-stage* counterpart for dynamic
+instances (expected reduced size past the sparse-efficiency threshold
+``delta``): the same intra-host reduce onto leaders, then the leaders run
+:func:`~repro.collectives.dsar.dsar_split_allgather` — including its
+representation switch and optional quantized allgather — among
+themselves, and each leader broadcasts the dense result back down its
+host. Only ``nnodes`` dense partitions ever cross the slow tier instead
+of ``P``, and each partition is still quantized exactly once by its
+owning leader.
 """
 
 from __future__ import annotations
 
+from ..quant import QSGDQuantizer
 from ..runtime.comm import Communicator
-from ..runtime.topology import Topology, normalize_topology
+from ..runtime.topology import Topology, check_topology_size, normalize_topology
 from ..streams import SparseStream, add_streams_, reduction_work_bytes
 from ..streams.ops import SUM, ReduceOp
 from ..streams.summation import MergeScratch
+from .dsar import dsar_split_allgather
 from .sparse import _ensure_sparse, ssar_recursive_double, ssar_ring, ssar_split_allgather
 
-__all__ = ["ssar_hierarchical", "tree_reduce", "INNER_ALGORITHMS"]
+__all__ = [
+    "ssar_hierarchical",
+    "dsar_hierarchical",
+    "tree_reduce",
+    "INNER_ALGORITHMS",
+]
 
 #: flat SSAR kernels eligible as the inter-node (leader) stage.
 INNER_ALGORITHMS = {
@@ -92,6 +109,20 @@ def tree_reduce(
     return acc
 
 
+def _resolve_topology(
+    comm: Communicator, topology: "Topology | str | int | None"
+) -> Topology:
+    """The rank -> host map a hierarchical collective runs under.
+
+    Explicit argument first (validated against ``comm.size`` with the
+    launcher-uniform error), then ``comm.topology``, then a flat world.
+    """
+    topo = normalize_topology(topology, comm.size)
+    if topo is None:
+        topo = comm.topology if comm.topology is not None else Topology.flat(comm.size)
+    return check_topology_size(topo, comm.size)
+
+
 def ssar_hierarchical(
     comm: Communicator,
     stream: SparseStream,
@@ -128,13 +159,7 @@ def ssar_hierarchical(
         raise ValueError(
             f"unknown inner algorithm {inner!r}; choose from {sorted(INNER_ALGORITHMS)}"
         )
-    topo = normalize_topology(topology, comm.size)
-    if topo is None:
-        topo = comm.topology if comm.topology is not None else Topology.flat(comm.size)
-    if topo.nranks != comm.size:
-        raise ValueError(
-            f"topology describes {topo.nranks} ranks but the communicator has {comm.size}"
-        )
+    topo = _resolve_topology(comm, topology)
     comm.mark("ssar_hier")
 
     # every rank takes one slot in each of the two subgroup call sites:
@@ -153,6 +178,65 @@ def ssar_hierarchical(
         acc = INNER_ALGORITHMS[inner](leader_comm, acc, op)
 
     # phase 3: fan the reduced result back out inside each host
+    if local.size > 1:
+        comm.mark("hier_bcast")
+        acc = local.bcast(acc, root=0)
+    return acc
+
+
+def dsar_hierarchical(
+    comm: Communicator,
+    stream: SparseStream,
+    quantizer: QSGDQuantizer | None = None,
+    op: ReduceOp = SUM,
+    topology: "Topology | str | int | None" = None,
+) -> SparseStream:
+    """DSAR_Hierarchical: the dense-stage hierarchy for dynamic instances.
+
+    1. **intra-node reduce**: each host merges its streams onto the host
+       leader along the same binomial tree as :func:`ssar_hierarchical`
+       (sparse merges, fast tier only);
+    2. **leader DSAR**: the leaders run
+       :func:`~repro.collectives.dsar.dsar_split_allgather` among
+       themselves — split phase, representation switch to dense, and the
+       (optionally quantized) dense allgather — so only ``nnodes`` dense
+       partitions cross the slow tier instead of ``P``, and each
+       partition is quantized exactly once by its owning leader;
+    3. **intra-node broadcast**: each leader fans the dense result back
+       down its host's binomial tree.
+
+    Every leader concatenates the identical (de)quantized partitions, so
+    the result is bit-identical on all ranks; it differs from the flat
+    :func:`dsar_split_allgather` only by float association (different
+    partition bounds) and by which rank's quantizer touched each entry.
+
+    Parameters mirror :func:`dsar_split_allgather` plus ``topology``
+    (defaults to ``comm.topology``, falling back to a flat world).
+    """
+    stream = _ensure_sparse(stream)
+    if comm.size == 1:
+        # the flat kernel's single-rank path already densifies and
+        # quantizes the one partition exactly once
+        return dsar_split_allgather(comm, stream, quantizer=quantizer, op=op)
+    topo = _resolve_topology(comm, topology)
+    comm.mark("dsar_hier")
+
+    # host groups are pairwise disjoint, so they may share the first slot
+    local = comm.subgroup(topo.group_of(comm.rank))
+    leader_comm = comm.subgroup(topo.leaders)
+
+    scratch = MergeScratch()
+    # phase 1: merge this host's streams onto its leader (fast tier only)
+    comm.mark("hier_local_reduce")
+    acc = tree_reduce(local, stream, op, scratch)
+
+    # phase 2: leaders switch representation and allgather dense blocks;
+    # only nnodes partitions (quantized at most once each) go inter-node
+    if leader_comm is not None:
+        comm.mark("hier_leaders")
+        acc = dsar_split_allgather(leader_comm, acc, quantizer=quantizer, op=op)
+
+    # phase 3: fan the dense result back out inside each host
     if local.size > 1:
         comm.mark("hier_bcast")
         acc = local.bcast(acc, root=0)

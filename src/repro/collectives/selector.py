@@ -6,7 +6,13 @@ The selector mirrors the paper's guidance, extended with topology
 awareness:
 
 * if the expected reduced size ``K`` exceeds the sparse-efficiency
-  threshold ``delta`` the instance is *dynamic* → DSAR;
+  threshold ``delta`` the instance is *dynamic* → DSAR. On a
+  *hierarchical* topology the selector runs a real two-tier cost
+  comparison (:func:`dense_stage_two_tier_times`) between the flat
+  ``dsar_split_ag`` and the hierarchical ``dsar_hier`` — reducing
+  intra-host first means only ``nnodes`` dense partitions cross the slow
+  tier's shared per-host uplink instead of ``P`` — and picks whichever
+  the two-tier model predicts faster;
 * a static-sparse instance on a *hierarchical* topology (several hosts,
   several ranks per host) → ``ssar_hier``: per §6 the inter-node links
   are the bottleneck, and reducing intra-node first sends only each
@@ -30,12 +36,16 @@ idea about K", §5.3) — uniform supports are the worst case for fill-in.
 
 from __future__ import annotations
 
-from ..analysis.density import expected_union_size
+import math
+
+from ..analysis.density import expected_two_tier_sizes, expected_union_size
 from ..config import INDEX_BYTES, delta_threshold
-from ..runtime.topology import Topology
+from ..netsim.model import TIERED_IB_FDR, NetworkModel, TieredNetworkModel
+from ..runtime.topology import Topology, check_topology_size
 
 __all__ = [
     "choose_algorithm",
+    "dense_stage_two_tier_times",
     "SMALL_MESSAGE_BYTES",
     "RING_MIN_RANKS",
     "SPARSE_ALGORITHMS",
@@ -55,7 +65,70 @@ SPARSE_ALGORITHMS = (
     "ssar_ring",
     "ssar_hier",
     "dsar_split_ag",
+    "dsar_hier",
 )
+
+
+def dense_stage_two_tier_times(
+    dimension: int,
+    nranks: int,
+    nnz_per_rank: float,
+    value_itemsize: int,
+    topology: Topology,
+    network: "NetworkModel | TieredNetworkModel",
+) -> tuple[float, float]:
+    """Estimated ``(flat dsar, hierarchical dsar)`` times under two tiers.
+
+    The dominating term of a dynamic instance is the dense allgather: the
+    result is ``N * itemsize`` bytes that every rank must end up holding.
+    On a cluster whose inter-node uplink is shared per host (``m`` ranks
+    behind one NIC), the flat algorithm pushes ``m`` ranks' split slices
+    and dense partitions through each uplink while the hierarchical one
+    pushes a single leader's — the two-tier volumes are::
+
+        flat:  (P - m)/P * (k_pairs + N_dense) per rank, m ranks per uplink
+        hier:  (H - 1)/H * (E[K_local]_pairs + N_dense) per leader
+
+    plus latency terms (``(P-1) alpha_inter`` for the flat split fan-out
+    vs ``(H-1) alpha_inter`` between leaders) and the hierarchy's extra
+    intra-host tree reduce / broadcast rounds at intra rates. A plain
+    :class:`NetworkModel` is treated as two equal tiers: the hierarchy
+    then loses whenever bandwidth dominates (its extra intra rounds move
+    the full dense vector again) and can only pay for itself on
+    latency-bound shapes where collapsing the ``(P-1)`` fan-out to
+    ``(H-1)`` covers those rounds.
+    """
+    if isinstance(network, TieredNetworkModel):
+        intra, inter = network.intra, network.inter
+    else:
+        intra = inter = network
+    P = nranks
+    H = topology.nnodes
+    m = topology.max_ranks_per_node
+    pair_bytes = INDEX_BYTES + value_itemsize
+    dense_bytes = dimension * value_itemsize
+    k_bytes = nnz_per_rank * pair_bytes
+    k_local, _ = expected_two_tier_sizes(
+        nnz_per_rank, dimension, P, min(m, P)
+    )
+    k_local_bytes = k_local * pair_bytes
+
+    # flat DSAR: every rank's split slices and (forwarded) dense partitions
+    # cross the inter tier; the busiest uplink carries m ranks' share
+    flat = (
+        (P - 1) * inter.alpha
+        + inter.beta * m * (P - m) / P * (k_bytes + dense_bytes)
+    )
+
+    # hierarchical DSAR: one leader per uplink, merged unions only, plus
+    # the intra-host tree reduce and dense broadcast rounds
+    intra_rounds = math.ceil(math.log2(m)) if m > 1 else 0
+    hier = (
+        (H - 1) * inter.alpha
+        + inter.beta * (H - 1) / H * (k_local_bytes + dense_bytes)
+        + intra_rounds * (2 * intra.alpha + intra.beta * (k_local_bytes + dense_bytes))
+    )
+    return flat, hier
 
 
 def choose_algorithm(
@@ -66,6 +139,7 @@ def choose_algorithm(
     expected_k: float | None = None,
     small_message_bytes: int = SMALL_MESSAGE_BYTES,
     topology: Topology | None = None,
+    network: "NetworkModel | TieredNetworkModel | None" = None,
 ) -> str:
     """Pick a sparse allreduce algorithm for the given instance.
 
@@ -83,30 +157,58 @@ def choose_algorithm(
     topology:
         Optional rank -> host map. A hierarchical topology (several
         hosts, several ranks per host) makes the selector prefer
-        ``ssar_hier`` for static-sparse instances; ``None`` or a flat/
-        fully-distributed topology selects among the flat algorithms.
+        ``ssar_hier`` for static-sparse instances and run the two-tier
+        ``dsar_hier`` vs ``dsar_split_ag`` comparison for dynamic ones;
+        ``None`` or a flat/fully-distributed topology selects among the
+        flat algorithms.
+    network:
+        The cost model the two-tier comparison runs under. Defaults to
+        the canonical tiered cluster (shared-memory intra + InfiniBand
+        inter, :data:`~repro.netsim.model.TIERED_IB_FDR`) — consistent
+        with the hierarchical-topology presumption that intra links are
+        an order of magnitude faster. Pass a plain
+        :class:`~repro.netsim.model.NetworkModel` to model a genuinely
+        flat network (equal tiers), under which ``dsar_hier`` survives
+        only on latency-bound shapes (the ``(P-1)`` -> ``(H-1)`` fan-out
+        collapse), never on bandwidth-bound ones.
 
     Returns
     -------
     str
         One of :data:`SPARSE_ALGORITHMS`. ``ssar_ring`` is reachable only
         through the bandwidth-bound branch (``P >= RING_MIN_RANKS`` and a
-        per-rank slice above the latency switch point); ``ssar_hier``
-        only with a hierarchical ``topology``.
+        per-rank slice above the latency switch point); ``ssar_hier`` and
+        ``dsar_hier`` only with a hierarchical ``topology``.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     if not 0 <= nnz_per_rank <= dimension:
         raise ValueError(f"nnz_per_rank must be in [0, {dimension}], got {nnz_per_rank}")
+    if topology is not None:
+        # the launcher-uniform size check: a topology for a different world
+        # would feed garbage H/m into the two-tier comparison below
+        check_topology_size(topology, nranks)
     if expected_k is None:
         expected_k = expected_union_size(nnz_per_rank, dimension, nranks)
     delta = delta_threshold(dimension, value_itemsize, INDEX_BYTES)
+    hierarchical = topology is not None and topology.is_hierarchical
     if expected_k > delta:
-        # dynamic instance: the reduced result goes dense either way, and
-        # DSAR's dense allgather stage is what handles that efficiently
-        # (a dense-stage hierarchy is a separate optimization; see hier.py)
+        # dynamic instance: the reduced result goes dense either way; on a
+        # hierarchical topology, compare the flat dense allgather against
+        # the leader-only dense stage under the two-tier cost model
+        if hierarchical:
+            flat_t, hier_t = dense_stage_two_tier_times(
+                dimension,
+                nranks,
+                nnz_per_rank,
+                value_itemsize,
+                topology,
+                network if network is not None else TIERED_IB_FDR,
+            )
+            if hier_t < flat_t:
+                return "dsar_hier"
         return "dsar_split_ag"
-    if topology is not None and topology.is_hierarchical:
+    if hierarchical:
         # static-sparse on a multi-rank multi-host world: pay the fast
         # tier first so only the merged per-host unions cross the slow one
         return "ssar_hier"

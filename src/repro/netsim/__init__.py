@@ -1,14 +1,32 @@
 """Network timing simulation: alpha-beta model + trace replay."""
 
-from .model import ARIES, GIGE, IB_FDR, PRESETS, NetworkModel
+from .model import (
+    ARIES,
+    GIGE,
+    IB_FDR,
+    PRESETS,
+    SHM,
+    TIERED_ARIES,
+    TIERED_GIGE,
+    TIERED_IB_FDR,
+    NetworkModel,
+    TieredNetworkModel,
+    resolve_network,
+)
 from .replay import ReplayDeadlockError, ReplayResult, overlap_step_time, replay
 
 __all__ = [
     "NetworkModel",
+    "TieredNetworkModel",
     "ARIES",
     "IB_FDR",
     "GIGE",
+    "SHM",
+    "TIERED_ARIES",
+    "TIERED_IB_FDR",
+    "TIERED_GIGE",
     "PRESETS",
+    "resolve_network",
     "ReplayResult",
     "ReplayDeadlockError",
     "replay",

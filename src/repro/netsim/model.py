@@ -15,13 +15,46 @@ Presets model the three network classes of the evaluation: a Cray
 Aries-class supercomputer interconnect (Piz Daint), InfiniBand FDR, and
 Gigabit Ethernet (the "cloud" setting). Values are class-representative,
 not measurements of the authors' testbed; the benches compare *shapes*.
+
+Two-tier models
+---------------
+SparCML's large-scale results (§6) come from clusters whose *intra-node*
+links (shared memory) are an order of magnitude faster than the network
+between nodes. :class:`TieredNetworkModel` composes two flat models —
+an intra-node and an inter-node alpha/beta pair — so trace replay can
+charge each message by the tier its (src, dst) pair actually crossed
+(see :func:`repro.netsim.replay.replay`, which takes a
+:class:`~repro.runtime.topology.Topology` to classify links). With
+``shared_uplink=True`` (the default) all inter-node transmissions
+from/to one host additionally serialize on that host's uplink — the
+congestion effect that makes hierarchical schedules win in §6: ``m``
+ranks funnelling unions through one NIC pay ``m`` transmit times where
+a leader pays one.
+
+Tiered presets compose the shared-memory intra model with each network
+class (``tiered_aries``, ``tiered_ib_fdr``, ``tiered_gige``); ad hoc
+combinations parse from ``"tiered:INTRA/INTER"`` specs via
+:func:`resolve_network` (e.g. ``"tiered:shm/gige"``, or just
+``"tiered:gige"`` for the shared-memory default intra tier).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["NetworkModel", "ARIES", "IB_FDR", "GIGE", "PRESETS"]
+__all__ = [
+    "NetworkModel",
+    "TieredNetworkModel",
+    "ARIES",
+    "IB_FDR",
+    "GIGE",
+    "SHM",
+    "TIERED_ARIES",
+    "TIERED_IB_FDR",
+    "TIERED_GIGE",
+    "PRESETS",
+    "resolve_network",
+]
 
 
 @dataclass(frozen=True)
@@ -85,4 +118,116 @@ IB_FDR = NetworkModel(name="ib_fdr", alpha=2.0e-6, beta=1.47e-10, gamma=2.0e-10)
 #: Gigabit Ethernet class (cloud): ~50 us latency, ~118 MB/s.
 GIGE = NetworkModel(name="gige", alpha=5.0e-5, beta=8.5e-9, gamma=2.0e-10)
 
-PRESETS: dict[str, NetworkModel] = {m.name: m for m in (ARIES, IB_FDR, GIGE)}
+#: Shared-memory intra-node class: ~0.4 us latency, ~40 GB/s.
+SHM = NetworkModel(name="shm", alpha=4.0e-7, beta=2.5e-11, gamma=2.0e-10)
+
+
+@dataclass(frozen=True)
+class TieredNetworkModel:
+    """A two-tier cost model: intra-node and inter-node alpha/beta pairs.
+
+    Replay classifies each message by the
+    :class:`~repro.runtime.topology.Topology` it is given: a send whose
+    source and destination rank share a host is charged at ``intra``
+    rates, everything else at ``inter`` rates. Compute work is charged
+    at the intra tier's ``gamma`` (reductions are local by definition).
+
+    With ``shared_uplink=True``, inter-node transmissions additionally
+    serialize on the source host's egress and the destination host's
+    ingress link (full duplex, one reservation per direction): a message
+    begins transmitting only once the sender is ready *and* both uplinks
+    are free, and occupies them for ``beta_inter * L`` seconds. An
+    uncontended message costs exactly ``alpha + beta * L`` — identical
+    to the flat formula — so with ``shared_uplink=False`` (or traffic
+    that never overlaps on a link) a tiered model with equal tiers
+    reproduces the plain :class:`NetworkModel` replay bit for bit.
+    """
+
+    name: str
+    intra: NetworkModel
+    inter: NetworkModel
+    shared_uplink: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.intra, NetworkModel) or not isinstance(
+            self.inter, NetworkModel
+        ):
+            raise TypeError("TieredNetworkModel tiers must be NetworkModel instances")
+
+    # ------------------------------------------------------------------
+    @property
+    def gamma(self) -> float:
+        """Seconds per byte of local work (reductions run on the node)."""
+        return self.intra.gamma
+
+    def tier(self, same_host: bool) -> NetworkModel:
+        """The flat model governing a link (``same_host`` classifies it)."""
+        return self.intra if same_host else self.inter
+
+    def message_time(self, nbytes: int, same_host: bool = False) -> float:
+        """Uncontended ``T(L) = alpha + beta * L`` on the given tier."""
+        return self.tier(same_host).message_time(nbytes)
+
+    def compute_time(self, nbytes: int) -> float:
+        return self.gamma * nbytes
+
+    def with_(self, **kwargs) -> "TieredNetworkModel":
+        """A copy with some fields replaced (``intra=``, ``inter=``, ...)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        uplink = "shared uplink" if self.shared_uplink else "unshared uplink"
+        return (
+            f"{self.name}: intra[{self.intra.describe()}] "
+            f"inter[{self.inter.describe()}] ({uplink})"
+        )
+
+
+def _tiered(inter: NetworkModel, intra: NetworkModel = SHM) -> TieredNetworkModel:
+    return TieredNetworkModel(name=f"tiered_{inter.name}", intra=intra, inter=inter)
+
+
+#: the canonical two-tier clusters: shared-memory intra + each network class.
+TIERED_ARIES = _tiered(ARIES)
+TIERED_IB_FDR = _tiered(IB_FDR)
+TIERED_GIGE = _tiered(GIGE)
+
+PRESETS: "dict[str, NetworkModel | TieredNetworkModel]" = {
+    m.name: m
+    for m in (ARIES, IB_FDR, GIGE, SHM, TIERED_ARIES, TIERED_IB_FDR, TIERED_GIGE)
+}
+
+
+def resolve_network(
+    spec: "str | NetworkModel | TieredNetworkModel",
+) -> "NetworkModel | TieredNetworkModel":
+    """Resolve a network spec to a model instance.
+
+    Accepts a model instance (returned as-is), a preset name from
+    :data:`PRESETS`, or a ``"tiered:INTRA/INTER"`` spec composing two
+    *flat* presets into a :class:`TieredNetworkModel` on the fly
+    (``"tiered:INTER"`` defaults the intra tier to shared memory), e.g.
+    ``"tiered:shm/ib_fdr"`` or ``"tiered:gige"``.
+    """
+    if isinstance(spec, (NetworkModel, TieredNetworkModel)):
+        return spec
+    if spec in PRESETS:
+        return PRESETS[spec]
+    if isinstance(spec, str) and spec.startswith("tiered:"):
+        body = spec[len("tiered:") :]
+        intra_name, sep, inter_name = body.partition("/")
+        if not sep:
+            intra_name, inter_name = SHM.name, body
+        intra = PRESETS.get(intra_name)
+        inter = PRESETS.get(inter_name)
+        if not isinstance(intra, NetworkModel) or not isinstance(inter, NetworkModel):
+            flat = sorted(k for k, v in PRESETS.items() if isinstance(v, NetworkModel))
+            raise ValueError(
+                f"tiered spec {spec!r} must compose two flat presets "
+                f"(tiered:INTRA/INTER or tiered:INTER); choose from {flat}"
+            )
+        return TieredNetworkModel(name=spec, intra=intra, inter=inter)
+    raise ValueError(
+        f"unknown network preset {spec!r}; choose from {sorted(PRESETS)} "
+        f"or a 'tiered:INTRA/INTER' spec"
+    )

@@ -15,23 +15,81 @@ doubling stage costs ``alpha + beta*L``; the split fan-out costs
 ``(P-1)*alpha`` in latency), applied to the *actual* message sizes the
 algorithms produced — including representation switches and quantization.
 
+Two-tier replay
+---------------
+With a :class:`~repro.netsim.model.TieredNetworkModel` and a
+:class:`~repro.runtime.topology.Topology`, every message is classified
+by the hosts of its (src, dst) ranks: same host -> the intra tier's
+alpha/beta, different hosts -> the inter tier's. When the model has
+``shared_uplink=True``, inter-host transmissions also serialize on the
+source host's egress and destination host's ingress links (one
+full-duplex uplink per host): each transmission occupies both uplinks
+for ``beta_inter * L`` seconds, starting in the *earliest idle window*
+at or after the moment the sender is ready — busy intervals are tracked
+explicitly, so a transmission is never delayed by one that could only
+start after it finished, regardless of the order the replayer happens to
+process ranks in. That is the §6 congestion effect hierarchical
+collectives exist to avoid — ``m`` ranks funnelling unions through one
+NIC pay ``m`` transmit times where a single leader pays one. An
+uncontended message costs ``alpha + beta*L`` exactly, so replay under a
+plain :class:`NetworkModel` (or equal tiers with
+``shared_uplink=False``) is unchanged by the tiered machinery.
+
 The replay is deterministic: matching uses the (src, dst, tag, seq) FIFO
 keys recorded at execution time, so thread scheduling during the real run
-cannot change the replayed time.
+cannot change the replayed time. Scheduling is readiness-driven — a rank
+leaves the run queue only when it stalls on a not-yet-posted arrival and
+re-enters when the matching send is replayed — so a trace replays in
+``O(events + stalls)`` work rather than rescanning every rank per pass
+(:attr:`ReplayResult.rank_activations` exposes the scheduling count as a
+regression canary).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import insort
+from collections import deque
+from dataclasses import dataclass
+from heapq import merge
 
+from ..runtime.topology import Topology, normalize_topology
 from ..runtime.trace import COMPUTE, MARK, RECV, SEND, Trace
-from .model import NetworkModel
+from .model import NetworkModel, TieredNetworkModel
 
 __all__ = ["ReplayResult", "replay", "ReplayDeadlockError", "overlap_step_time"]
 
 
 class ReplayDeadlockError(RuntimeError):
     """The trace contains a receive with no matching send."""
+
+
+def _reserve_uplinks(
+    egress: list[tuple[float, float]],
+    ingress: list[tuple[float, float]],
+    ready: float,
+    duration: float,
+) -> float:
+    """Book the earliest window of ``duration`` free on *both* uplinks at
+    or after ``ready``; returns its start time.
+
+    Busy intervals are kept sorted, so the search is independent of the
+    order the replayer processed the reserving sends in: a transmission
+    slots into any idle window it would physically have fit into, and is
+    never pushed behind one that starts after it could have completed.
+    """
+    if duration <= 0.0:
+        return ready  # zero-byte messages occupy no uplink time
+    start = ready
+    # both lists are insort-maintained, so a lazy linear merge visits the
+    # combined intervals in start order without building a new list
+    for a, b in merge(egress, ingress):
+        if a >= start + duration:
+            break  # intervals are start-sorted: nothing later can overlap
+        if b > start:
+            start = b
+    insort(egress, (start, start + duration))
+    insort(ingress, (start, start + duration))
+    return start
 
 
 @dataclass
@@ -43,6 +101,9 @@ class ReplayResult:
     per_rank_phase_times: list[dict[str, float]]
     total_bytes: int
     total_messages: int
+    #: number of rank scheduling activations the replay needed; bounded by
+    #: ``nranks + number of recv stalls`` (a quadratic-rescan canary).
+    rank_activations: int = 0
 
     @property
     def makespan(self) -> float:
@@ -60,8 +121,28 @@ class ReplayResult:
         return self.phase_times.get(label, 0.0)
 
 
-def replay(trace: Trace, model: NetworkModel) -> ReplayResult:
+def replay(
+    trace: Trace,
+    model: "NetworkModel | TieredNetworkModel",
+    topology: "Topology | str | int | None" = None,
+) -> ReplayResult:
     """Replay ``trace`` under ``model`` and return predicted times.
+
+    Parameters
+    ----------
+    trace:
+        The per-rank operation logs of one executed run.
+    model:
+        A flat :class:`NetworkModel` (uniform link cost — numerically
+        identical to the historical replayer) or a
+        :class:`TieredNetworkModel` charging each message by the tier its
+        (src, dst) pair crosses.
+    topology:
+        Rank -> host map classifying links for tiered models (anything
+        :func:`~repro.runtime.topology.normalize_topology` accepts, e.g.
+        ``"2x4"``). Defaults to a flat single-host world, under which a
+        tiered model charges everything at intra rates. Validated against
+        ``trace.nranks`` for flat models too.
 
     Raises
     ------
@@ -77,6 +158,18 @@ def replay(trace: Trace, model: NetworkModel) -> ReplayResult:
     labels = [""] * nranks
     per_rank_phase: list[dict[str, float]] = [dict() for _ in range(nranks)]
 
+    tiered = isinstance(model, TieredNetworkModel)
+    topo = normalize_topology(topology, nranks)
+    hosts: tuple[str, ...] | None = None
+    if tiered:
+        hosts = (topo if topo is not None else Topology.flat(nranks)).hosts
+        intra, inter = model.intra, model.inter
+        shared = model.shared_uplink
+        # per-host uplink busy intervals, one list per direction
+        egress: dict[str, list[tuple[float, float]]] = {}
+        ingress: dict[str, list[tuple[float, float]]] = {}
+    gamma = model.gamma
+
     def charge(rank: int, dt: float) -> None:
         clocks[rank] += dt
         label = labels[rank]
@@ -85,44 +178,70 @@ def replay(trace: Trace, model: NetworkModel) -> ReplayResult:
             bucket[label] = bucket.get(label, 0.0) + dt
 
     remaining = sum(len(e) for e in events)
-    while remaining:
-        progressed = False
-        for rank in range(nranks):
-            ptr = pointers[rank]
-            lst = events[rank]
-            while ptr < len(lst):
-                ev = lst[ptr]
-                if ev.op == SEND:
+    # readiness-driven scheduling: every rank runs until it stalls on a
+    # pending arrival; the matching send re-activates exactly that rank.
+    ready: deque[int] = deque(range(nranks))
+    waiting: dict[tuple[int, int, int, int], int] = {}
+    activations = 0
+    while ready:
+        rank = ready.popleft()
+        activations += 1
+        ptr = pointers[rank]
+        lst = events[rank]
+        while ptr < len(lst):
+            ev = lst[ptr]
+            if ev.op == SEND:
+                key = (rank, ev.peer, ev.tag, ev.seq)
+                if hosts is None:
                     charge(rank, model.alpha)
-                    arrivals[(rank, ev.peer, ev.tag, ev.seq)] = (
-                        clocks[rank] + model.beta * ev.nbytes
-                    )
-                elif ev.op == RECV:
-                    key = (ev.peer, rank, ev.tag, ev.seq)
-                    if key not in arrivals:
-                        break  # stalled: matching send not yet replayed
-                    arrival = arrivals.pop(key)
-                    if arrival > clocks[rank]:
-                        charge(rank, arrival - clocks[rank])
-                elif ev.op == COMPUTE:
-                    charge(rank, model.gamma * ev.nbytes)
-                elif ev.op == MARK:
-                    labels[rank] = ev.label
-                else:  # pragma: no cover - defensive
-                    raise ValueError(f"unknown trace op {ev.op!r}")
-                ptr += 1
-                remaining -= 1
-                progressed = True
-            pointers[rank] = ptr
-        if not progressed:
-            stuck = [
-                (r, events[r][pointers[r]])
-                for r in range(nranks)
-                if pointers[r] < len(events[r])
-            ]
-            raise ReplayDeadlockError(
-                f"replay stalled with unmatched receives: {stuck[:4]}"
-            )
+                    arrival = clocks[rank] + model.beta * ev.nbytes
+                else:
+                    same = hosts[rank] == hosts[ev.peer]
+                    tier = intra if same else inter
+                    charge(rank, tier.alpha)
+                    if same or not shared:
+                        arrival = clocks[rank] + tier.beta * ev.nbytes
+                    else:
+                        # both uplinks reserved over one transmit window so
+                        # the uncontended cost stays exactly alpha + beta*L
+                        start = _reserve_uplinks(
+                            egress.setdefault(hosts[rank], []),
+                            ingress.setdefault(hosts[ev.peer], []),
+                            clocks[rank],
+                            tier.beta * ev.nbytes,
+                        )
+                        arrival = start + tier.beta * ev.nbytes
+                arrivals[key] = arrival
+                waiter = waiting.pop(key, None)
+                if waiter is not None:
+                    ready.append(waiter)
+            elif ev.op == RECV:
+                key = (ev.peer, rank, ev.tag, ev.seq)
+                if key not in arrivals:
+                    waiting[key] = rank  # stalled: re-activated by the send
+                    break
+                arrival = arrivals.pop(key)
+                if arrival > clocks[rank]:
+                    charge(rank, arrival - clocks[rank])
+            elif ev.op == COMPUTE:
+                charge(rank, gamma * ev.nbytes)
+            elif ev.op == MARK:
+                labels[rank] = ev.label
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown trace op {ev.op!r}")
+            ptr += 1
+            remaining -= 1
+        pointers[rank] = ptr
+
+    if remaining:
+        stuck = [
+            (r, events[r][pointers[r]])
+            for r in range(nranks)
+            if pointers[r] < len(events[r])
+        ]
+        raise ReplayDeadlockError(
+            f"replay stalled with unmatched receives: {stuck[:4]}"
+        )
 
     phase_times: dict[str, float] = {}
     for bucket in per_rank_phase:
@@ -135,6 +254,7 @@ def replay(trace: Trace, model: NetworkModel) -> ReplayResult:
         per_rank_phase_times=per_rank_phase,
         total_bytes=trace.total_bytes_sent,
         total_messages=trace.total_messages,
+        rank_activations=activations,
     )
 
 

@@ -33,7 +33,13 @@ from .comm import (
     payload_nbytes,
 )
 from .launcher import run_ranks
-from .topology import Topology, bytes_by_tier, inter_node_bytes, normalize_topology
+from .topology import (
+    Topology,
+    bytes_by_tier,
+    check_topology_size,
+    inter_node_bytes,
+    normalize_topology,
+)
 from .nonblocking import NonBlockingHandle, i_collective
 from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
 from .shmem_backend import SharedRing, ShmemBackend, ShmemComm, ShmemWorld
@@ -56,6 +62,7 @@ __all__ = [
     "TAG_USER_LIMIT",
     "Topology",
     "normalize_topology",
+    "check_topology_size",
     "inter_node_bytes",
     "bytes_by_tier",
     "Backend",

@@ -73,6 +73,7 @@ from typing import Any
 import numpy as np
 
 from ..config import STREAM_HEADER_BYTES
+from .topology import check_topology_size
 from .trace import Trace
 
 __all__ = [
@@ -553,9 +554,13 @@ class SubCommunicator(Communicator):
         self._split_window_id = window_id
         # absolute window start: what this comm's nested splits offset from
         self._split_space_base = parent._split_space_base + tag_base
-        self.topology = (
-            parent.topology.restrict(members) if parent.topology is not None else None
-        )
+        if parent.topology is not None:
+            # the same size check every launcher path applies: a topology
+            # that does not describe the parent world cannot be restricted
+            check_topology_size(parent.topology, parent.size)
+            self.topology = parent.topology.restrict(members)
+        else:
+            self.topology = None
 
     @property
     def world_rank(self) -> int:

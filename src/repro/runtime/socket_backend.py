@@ -72,7 +72,7 @@ from .process_backend import (
     _finalize_run,
     _portable_exception,
 )
-from .topology import Topology
+from .topology import Topology, normalize_topology
 from .trace import Trace
 from .wire import decode_message, encode_frame_parts
 
@@ -721,6 +721,7 @@ def serve_rank(
     host: str = "127.0.0.1",
     rendezvous_timeout: float = DEFAULT_RENDEZVOUS_TIMEOUT,
     verbose: bool = False,
+    topology: "Topology | str | int | None" = None,
 ) -> Any:
     """Run one rank of a multi-host socket world and return its result.
 
@@ -733,11 +734,16 @@ def serve_rank(
 
     The rank program sees the assembled ``(rank, host)`` map as
     ``comm.topology``, so topology-aware collectives (``ssar_hier``)
-    exploit host locality automatically; ``verbose=True`` additionally
-    logs the host grouping to stderr once the world assembles.
+    exploit host locality automatically; an explicit ``topology`` (any
+    spelling :func:`~repro.runtime.topology.normalize_topology` accepts)
+    overrides the rendezvous-derived map — it is validated against
+    ``nranks`` before any socket work starts, with the same error every
+    launcher raises. ``verbose=True`` additionally logs the host grouping
+    to stderr once the world assembles.
     """
     if not 0 <= rank < nranks:
         raise ValueError(f"rank {rank} out of range [0, {nranks})")
+    topo = normalize_topology(topology, nranks)
     fn = program if callable(program) else _resolve_program(program)
     server: threading.Thread | None = None
     if rank == 0:
@@ -750,7 +756,7 @@ def serve_rank(
         )
         server.start()
     trace = Trace(nranks)
-    comm = _join_world(rank, nranks, rendezvous, host, rendezvous_timeout, trace)
+    comm = _join_world(rank, nranks, rendezvous, host, rendezvous_timeout, trace, topo)
     if verbose:
         print(
             f"[serve-rank {rank}/{nranks}] world assembled: "

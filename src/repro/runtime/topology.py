@@ -42,6 +42,7 @@ from .trace import SEND, Trace
 __all__ = [
     "Topology",
     "normalize_topology",
+    "check_topology_size",
     "inter_node_bytes",
     "bytes_by_tier",
 ]
@@ -191,6 +192,21 @@ class Topology:
         return f"{self.nnodes} {noun}: {parts}"
 
 
+def check_topology_size(topology: Topology, nranks: int) -> Topology:
+    """Validate that ``topology`` describes exactly ``nranks`` ranks.
+
+    The one size check every launcher path shares (``run_ranks``,
+    ``run_sparse_allreduce``, ``serve_rank``, sub-communicator
+    restriction, replay), so a mismatch raises the same clear
+    :class:`ValueError` everywhere.
+    """
+    if topology.nranks != nranks:
+        raise ValueError(
+            f"topology describes {topology.nranks} ranks but the world has {nranks}"
+        )
+    return topology
+
+
 def normalize_topology(
     spec: "Topology | str | int | Iterable[str] | None", nranks: int
 ) -> Topology | None:
@@ -211,11 +227,7 @@ def normalize_topology(
         topo = Topology.uniform(nranks, spec)
     else:
         topo = Topology(hosts=tuple(spec))
-    if topo.nranks != nranks:
-        raise ValueError(
-            f"topology describes {topo.nranks} ranks but the world has {nranks}"
-        )
-    return topo
+    return check_topology_size(topo, nranks)
 
 
 def bytes_by_tier(trace: Trace, topology: Topology) -> tuple[int, int]:

@@ -24,8 +24,13 @@ diff against. Three layers are measured:
 ``hierarchy``
     byte accounting per algorithm on the simulated two-host world at the
     headline density: total vs *inter-node* traffic (the volume
-    hierarchical reduction exists to shrink), plus the two-tier
-    Appendix-B expectations for reference.
+    hierarchical reduction exists to shrink), the two-tier Appendix-B
+    expectations for reference, and — new in schema 3 — the replayed
+    makespan of each algorithm's trace under a flat preset
+    (``replay_flat_s``) and under the matching tiered preset with the
+    simulated topology (``replay_tiered_s``), so the perf trajectory
+    captures whether the two-tier replay rewards hierarchy, not just
+    whether fewer bytes crossed the slow tier.
 
 Every measurement reports ``best`` (minimum) and ``median`` seconds.
 ``--quick`` shrinks sizes and iteration counts to a few seconds total for
@@ -44,11 +49,14 @@ import numpy as np
 
 from ..analysis.density import expected_two_tier_sizes
 from ..collectives import (
+    dsar_hierarchical,
+    dsar_split_allgather,
     ssar_hierarchical,
     ssar_recursive_double,
     ssar_ring,
     ssar_split_allgather,
 )
+from ..netsim import IB_FDR, TIERED_IB_FDR, replay
 from ..runtime import Topology, bytes_by_tier, normalize_topology, run_ranks
 from ..runtime.wire import decode_message, encode_message
 from ..streams import MergeScratch, SparseStream, add_streams_, merge_sparse_pairs
@@ -56,7 +64,9 @@ from ..streams import MergeScratch, SparseStream, add_streams_, merge_sparse_pai
 __all__ = ["run_bench", "write_bench", "DEFAULT_OUT"]
 
 #: schema version of the JSON document (bump on layout changes).
-SCHEMA = 2
+#: 3: dsar rows in the allreduce/hierarchy layers + replayed makespans
+#: (flat vs tiered preset) per hierarchy row.
+SCHEMA = 3
 
 #: repo root (src/repro/tools/ -> three levels up).
 DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_microkernels.json"
@@ -66,7 +76,14 @@ ALGOS = {
     "ssar_split_ag": ssar_split_allgather,
     "ssar_ring": ssar_ring,
     "ssar_hier": ssar_hierarchical,
+    "dsar_split_ag": dsar_split_allgather,
+    "dsar_hier": dsar_hierarchical,
 }
+
+#: the replay models of the hierarchy layer: one flat preset and its
+#: tiered counterpart (shared-memory intra + the same inter tier).
+REPLAY_FLAT = IB_FDR
+REPLAY_TIERED = TIERED_IB_FDR
 
 
 def _two_host_topology(nranks: int) -> Topology:
@@ -235,12 +252,16 @@ def _one_allreduce_rank(comm, algo_name: str, dimension: int, nnz: int):
 def _bench_hierarchy(
     algos: list[str], dimension: int, nnz: int, nranks: int, topology: Topology
 ) -> dict[str, Any]:
-    """Classify each algorithm's traffic into intra-/inter-host bytes.
+    """Classify each algorithm's traffic into intra-/inter-host bytes and
+    replay it under a flat and a tiered preset.
 
-    Byte accounting is backend-invariant (pinned by the equivalence
-    suite), so one thread-backend run per algorithm suffices; the point
-    is the *inter-node* column, which ``ssar_hier`` shrinks by sending
-    only the per-host merged unions across the slow tier.
+    Byte accounting and traces are backend-invariant (pinned by the
+    equivalence suite), so one thread-backend run per algorithm suffices.
+    Two columns matter: *inter-node bytes* — the volume hierarchical
+    reduction shrinks — and ``replay_tiered_s``, the predicted time under
+    the two-tier model (shared-memory intra + IB inter, shared per-host
+    uplink) where that shrinkage must show up as a speedup over the
+    ``replay_flat_s`` ordering.
     """
     k_local, k_total = expected_two_tier_sizes(
         nnz, dimension, nranks, topology.max_ranks_per_node
@@ -250,6 +271,8 @@ def _bench_hierarchy(
         "nnz_per_rank": nnz,
         "expected_k_local": round(k_local, 1),
         "expected_k_total": round(k_total, 1),
+        "replay_flat_preset": REPLAY_FLAT.name,
+        "replay_tiered_preset": REPLAY_TIERED.name,
         "per_algorithm": {},
     }
     for algo in algos:
@@ -263,6 +286,10 @@ def _bench_hierarchy(
             "intra_node_bytes": intra,
             "inter_node_bytes": inter,
             "messages": res.trace.total_messages,
+            "replay_flat_s": replay(res.trace, REPLAY_FLAT).makespan,
+            "replay_tiered_s": replay(
+                res.trace, REPLAY_TIERED, topology=topology
+            ).makespan,
         }
     return out
 
@@ -398,11 +425,26 @@ def render_summary(doc: dict[str, Any]) -> str:
             lines.append(f"  {bk:8s} {algo:14s} {row}")
     hier = doc.get("hierarchy")
     if hier:
-        lines.append(f"byte accounting on {hier['topology']} (inter-node / total):")
+        has_replay = "replay_tiered_preset" in hier  # schema >= 3
+        replay_note = (
+            f", replay {hier['replay_flat_preset']} flat vs "
+            f"{hier['replay_tiered_preset']} tiered"
+            if has_replay
+            else ""
+        )
+        lines.append(
+            f"byte accounting on {hier['topology']} (inter-node / total{replay_note}):"
+        )
         for algo, row in hier["per_algorithm"].items():
+            replay_cols = (
+                f"  {row['replay_flat_s'] * 1e3:8.2f}ms flat"
+                f"  {row['replay_tiered_s'] * 1e3:8.2f}ms tiered"
+                if has_replay
+                else ""
+            )
             lines.append(
                 f"  {algo:14s} {row['inter_node_bytes'] / 1e3:9.1f}kB / "
-                f"{row['total_bytes'] / 1e3:9.1f}kB"
+                f"{row['total_bytes'] / 1e3:9.1f}kB{replay_cols}"
             )
     if doc.get("headline"):
         lines.append("headline speedups (shmem vs process):")

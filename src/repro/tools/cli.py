@@ -23,7 +23,7 @@ import sys
 from collections import defaultdict
 
 from ..analysis import expected_union_size
-from ..netsim import PRESETS
+from ..netsim import PRESETS, resolve_network
 from ..runtime import available_backends
 from .sweeps import ALGORITHM_SET, SweepPoint, sweep_densities, sweep_node_counts
 
@@ -72,7 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     nodes.add_argument("--dimension", type=int, default=1 << 20)
     nodes.add_argument("--density", type=float, default=0.00781)
     nodes.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
-    nodes.add_argument("--network", choices=sorted(PRESETS), default="aries")
+    nodes.add_argument(
+        "--network", default="aries", metavar="PRESET",
+        help=f"network preset ({', '.join(sorted(PRESETS))}) or a "
+             "'tiered:INTRA/INTER' spec, e.g. tiered:shm/ib_fdr or tiered:gige",
+    )
     nodes.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
     nodes.add_argument("--seed", type=int, default=9000)
     nodes.add_argument(
@@ -90,7 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
     dens.add_argument("--dimension", type=int, default=1 << 20)
     dens.add_argument("--densities", type=float, nargs="+", default=[0.001, 0.01, 0.05, 0.10])
     dens.add_argument("--nranks", type=int, default=8)
-    dens.add_argument("--network", choices=sorted(PRESETS), default="gige")
+    dens.add_argument(
+        "--network", default="gige", metavar="PRESET",
+        help=f"network preset ({', '.join(sorted(PRESETS))}) or a "
+             "'tiered:INTRA/INTER' spec, e.g. tiered:shm/ib_fdr or tiered:gige",
+    )
     dens.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
     dens.add_argument("--seed", type=int, default=9000)
     dens.add_argument(
@@ -165,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0,
         help="seconds to wait for the whole world to assemble",
     )
+    serve.add_argument(
+        "--topology", default=None, metavar="HxR",
+        help="override the rendezvous-derived rank->host map with a "
+             "simulated one (e.g. 2x2; must describe --nranks ranks)",
+    )
 
     sub.add_parser("presets", help="show network model presets")
     return parser
@@ -177,6 +190,14 @@ def main(argv: list[str] | None = None) -> int:
         for model in PRESETS.values():
             print(model.describe())
         return 0
+
+    if args.command in ("sweep-nodes", "sweep-density"):
+        # validate the network spec up front for an argparse-style error
+        try:
+            resolve_network(args.network)
+        except ValueError as exc:
+            print(f"--network: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "expected-k":
         n = args.dimension
@@ -208,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             host=args.host,
             rendezvous_timeout=args.timeout,
             verbose=True,  # log the assembled (rank, host) grouping
+            topology=args.topology,
         )
         print(f"rank {args.rank}/{args.nranks} finished: {result!r}")
         return 0

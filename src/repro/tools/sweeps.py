@@ -18,13 +18,14 @@ from ..collectives import (
     allreduce_rabenseifner,
     allreduce_recursive_doubling,
     allreduce_ring,
+    dsar_hierarchical,
     dsar_split_allgather,
     ssar_hierarchical,
     ssar_recursive_double,
     ssar_ring,
     ssar_split_allgather,
 )
-from ..netsim import PRESETS, NetworkModel, replay
+from ..netsim import NetworkModel, TieredNetworkModel, replay, resolve_network
 from ..runtime import Topology, run_ranks
 from ..streams import SparseStream
 
@@ -36,6 +37,7 @@ ALGORITHM_SET = {
     "ssar_ring": ("sparse", ssar_ring),
     "ssar_hier": ("sparse", ssar_hierarchical),
     "dsar_split_ag": ("sparse", dsar_split_allgather),
+    "dsar_hier": ("sparse", dsar_hierarchical),
     "dense_rabenseifner": ("dense", allreduce_rabenseifner),
     "dense_ring": ("dense", allreduce_ring),
     "dense_rec_dbl": ("dense", allreduce_recursive_doubling),
@@ -59,20 +61,12 @@ class SweepPoint:
         return self.nnz / self.dimension if self.dimension else 0.0
 
 
-def _resolve_model(network: str | NetworkModel) -> NetworkModel:
-    if isinstance(network, NetworkModel):
-        return network
-    if network in PRESETS:
-        return PRESETS[network]
-    raise ValueError(f"unknown network preset {network!r}; choose from {sorted(PRESETS)}")
-
-
 def _measure(
     name: str,
     nranks: int,
     dimension: int,
     nnz: int,
-    model: NetworkModel,
+    model: "NetworkModel | TieredNetworkModel",
     seed: int,
     backend: str = "thread",
     ranks_per_node: int | None = None,
@@ -92,7 +86,9 @@ def _measure(
         return algo(comm, stream)
 
     out = run_ranks(prog, nranks, backend=backend, topology=topology)
-    timing = replay(out.trace, model)
+    # tiered models classify every message by the simulated topology
+    # (no --ranks-per-node means one host: everything at intra rates)
+    timing = replay(out.trace, model, topology=topology)
     return SweepPoint(
         algorithm=name,
         nranks=nranks,
@@ -118,10 +114,14 @@ def sweep_node_counts(
 
     Returns one :class:`SweepPoint` per (algorithm, P); ``backend`` selects
     the runtime transport the measured run executes on. ``ranks_per_node``
-    simulates hosts of that many ranks each, making the ``ssar_hier``
-    rows exercise a real two-tier schedule.
+    simulates hosts of that many ranks each, making the ``ssar_hier`` /
+    ``dsar_hier`` rows exercise a real two-tier schedule. ``network``
+    accepts a model instance, a preset name, or a ``"tiered:INTRA/INTER"``
+    spec (see :func:`repro.netsim.resolve_network`); tiered models replay
+    the trace against the simulated topology, so hierarchy is rewarded in
+    *time*, not just byte counts.
     """
-    model = _resolve_model(network)
+    model = resolve_network(network)
     algorithms = algorithms or list(ALGORITHM_SET)
     _validate_algorithms(algorithms)
     nnz = max(1, int(dimension * density))
@@ -143,7 +143,7 @@ def sweep_densities(
     ranks_per_node: int | None = None,
 ) -> list[SweepPoint]:
     """Reduction time vs per-node density (the Fig. 3 right sweep)."""
-    model = _resolve_model(network)
+    model = resolve_network(network)
     algorithms = algorithms or list(ALGORITHM_SET)
     _validate_algorithms(algorithms)
     points = []

@@ -51,6 +51,28 @@ class TestDSAR:
 
 
 class TestQuantizedDSAR:
+    def test_single_rank_quantizes_its_partition(self):
+        """P=1 is not a bypass: the lone rank owns the single partition and
+        must quantize it exactly once, so the result follows the same
+        distribution as every P>1 run (each partition quantized once by
+        its owner)."""
+        dim, nnz = 1024, 200
+        out, ref = run_dsar(
+            1, dim, nnz, quantizer_factory=lambda r: QSGDQuantizer(bits=4, bucket_size=128, seed=5)
+        )
+        assert out[0].is_dense
+        # bit-for-bit what the owner-rank quantization pipeline produces
+        q = QSGDQuantizer(bits=4, bucket_size=128, seed=5)
+        expect = q.dequantize(q.quantize(ref.astype(np.float32))).astype(np.float32)
+        assert np.array_equal(out[0].to_dense(), expect)
+        # and genuinely quantized: 4-bit codes cannot reproduce the input
+        assert not np.array_equal(out[0].to_dense(), ref)
+
+    def test_single_rank_without_quantizer_still_exact(self):
+        out, ref = run_dsar(1, 512, 64)
+        assert out[0].is_dense
+        assert np.array_equal(out[0].to_dense(), ref)
+
     def test_quantized_result_close_to_exact(self):
         """8-bit quantization of the dense stage: small relative error."""
         dim, nnz, P = 4096, 256, 4

@@ -8,8 +8,10 @@ from repro.collectives import (
     SMALL_MESSAGE_BYTES,
     SPARSE_ALGORITHMS,
     choose_algorithm,
+    dense_stage_two_tier_times,
 )
 from repro.config import delta_threshold
+from repro.netsim import GIGE, TIERED_GIGE
 from repro.runtime import Topology
 
 
@@ -68,6 +70,13 @@ class TestChooseAlgorithm:
         with pytest.raises(ValueError):
             choose_algorithm(1000, 4, 2000)
 
+    def test_topology_size_mismatch_rejected(self):
+        """The launcher-uniform size check also guards the selector: H/m
+        from a topology of a different world would poison the two-tier
+        cost comparison."""
+        with pytest.raises(ValueError, match="describes 8 ranks but the world has 64"):
+            choose_algorithm(10_000, 64, 2_000, topology=Topology.uniform(8, 4))
+
     def test_ring_requires_bandwidth_bound_instances(self):
         """ssar_ring is reachable, but only through the bandwidth-bound
         branch — moderate instances still pick the paper's algorithms."""
@@ -99,12 +108,49 @@ class TestChooseAlgorithm:
         )
 
     def test_dense_fill_in_beats_topology(self):
-        """A dynamic instance goes DSAR even on a hierarchical topology."""
+        """A dynamic instance goes to a DSAR dense-stage algorithm even on
+        a hierarchical topology — hierarchy changes *which* DSAR, never
+        whether the representation switch happens."""
         n, p, k = 10_000, 64, 2_000
+        choice = choose_algorithm(n, p, k, topology=Topology.uniform(p, 8))
+        assert choice in ("dsar_split_ag", "dsar_hier")
+        # under the default tiered cluster model the leader-only dense
+        # stage wins: only H uplinks carry dense partitions instead of P
+        assert choice == "dsar_hier"
+
+    def test_dsar_hier_needs_hierarchical_topology(self):
+        """dsar_hier is reachable only with several multi-rank hosts."""
+        n, p, k = 10_000, 64, 2_000
+        assert choose_algorithm(n, p, k) == "dsar_split_ag"
+        assert choose_algorithm(n, p, k, topology=Topology.flat(p)) == "dsar_split_ag"
         assert (
-            choose_algorithm(n, p, k, topology=Topology.uniform(p, 8))
+            choose_algorithm(n, p, k, topology=Topology.uniform(p, 1))
             == "dsar_split_ag"
         )
+
+    def test_dsar_hier_not_selected_on_flat_bandwidth_bound_network(self):
+        """With a genuinely flat network (equal tiers) a bandwidth-bound
+        dynamic instance stays on flat DSAR — the hierarchy's extra intra
+        rounds re-move the full dense vector and cannot pay for
+        themselves without a fast local tier. The same shape under a
+        tiered network flips to dsar_hier."""
+        n, p, k = 1 << 20, 8, 120_000  # dense payload dominates latency
+        topo = Topology.from_spec("2x4")
+        assert choose_algorithm(n, p, k, topology=topo, network=GIGE) == "dsar_split_ag"
+        assert (
+            choose_algorithm(n, p, k, topology=topo, network=TIERED_GIGE)
+            == "dsar_hier"
+        )
+
+    def test_two_tier_cost_comparison_shapes(self):
+        """The cost helper orders flat vs hier the way the tiers demand."""
+        n, p, k = 1 << 20, 8, 120_000
+        topo = Topology.from_spec("2x4")
+        flat_t, hier_t = dense_stage_two_tier_times(n, p, k, 4, topo, TIERED_GIGE)
+        assert hier_t < flat_t  # fast intra tier: leaders-only dense stage wins
+        flat_eq, hier_eq = dense_stage_two_tier_times(n, p, k, 4, topo, GIGE)
+        assert hier_eq > flat_eq  # equal tiers: the extra intra rounds lose
+        assert flat_t > 0 and hier_t > 0
 
     def test_more_ranks_pushes_toward_dsar(self):
         """Fill-in grows with P (Fig. 1): eventually the instance is dynamic."""

@@ -5,10 +5,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netsim import NetworkModel, replay
-from repro.runtime import Trace, run_ranks
+from repro.netsim import NetworkModel, TieredNetworkModel, replay
+from repro.runtime import Topology, Trace, run_ranks
 from repro.streams import SparseStream
-from repro.collectives import sparse_allreduce
+from repro.collectives import sparse_allreduce, ssar_hierarchical
 
 
 def random_trace(nranks: int, nmsgs: int, seed: int) -> Trace:
@@ -76,6 +76,92 @@ class TestReplayMonotonicity:
         r1 = replay(trace, NetworkModel("x", alpha=1e-6, beta=1e-9))
         r2 = replay(trace, NetworkModel("x", alpha=1e-6, beta=1e-9))
         assert r1.finish_times == r2.finish_times
+
+
+def random_topology(nranks: int, seed: int) -> Topology:
+    """A random rank -> host map over at most 3 hosts."""
+    gen = np.random.default_rng(seed)
+    hosts = tuple(f"h{gen.integers(0, min(3, nranks))}" for _ in range(nranks))
+    return Topology(hosts=hosts)
+
+
+class TestTieredReplayProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nranks=st.integers(2, 6),
+        nmsgs=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    def test_equal_tiers_reproduce_single_model_bit_for_bit(self, nranks, nmsgs, seed):
+        """A TieredNetworkModel whose tiers are the same flat model (and no
+        uplink sharing, which only engages across tiers of different
+        speed anyway) replays any trace identically to that flat model,
+        whatever the topology — float for float, not approximately."""
+        trace = random_trace(nranks, nmsgs, seed)
+        flat = NetworkModel("f", alpha=1.7e-6, beta=2.3e-9, gamma=1.9e-10)
+        eq = TieredNetworkModel(name="eq", intra=flat, inter=flat, shared_uplink=False)
+        topo = random_topology(nranks, seed)
+        base = replay(trace, flat)
+        got = replay(trace, eq, topology=topo)
+        assert got.finish_times == base.finish_times
+        assert got.phase_times == base.phase_times
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        shape=st.sampled_from([(4, 2), (4, 4), (8, 4), (6, 3), (8, 2)]),
+        nnz=st.integers(1, 400),
+        seed=st.integers(0, 10_000),
+        speedup=st.floats(min_value=2.0, max_value=100.0),
+    )
+    def test_hier_tiered_replay_never_exceeds_flat_preset(
+        self, shape, nnz, seed, speedup
+    ):
+        """Replaying an ssar_hier trace under a tiered model whose intra
+        tier is strictly faster can only *lower* every per-message cost
+        relative to the inter model applied uniformly, so the tiered
+        makespan never exceeds the flat-preset one. (Uplink sharing is
+        excluded: it is an additional congestion penalty, covered by the
+        monotonicity property below.)"""
+        nranks, per_node = shape
+        topo = Topology.uniform(nranks, per_node)
+
+        def prog(comm):
+            gen = np.random.default_rng(seed + comm.rank)
+            s = SparseStream.random_uniform(1 << 14, nnz=nnz, rng=gen)
+            return ssar_hierarchical(comm, s)
+
+        trace = run_ranks(prog, nranks, topology=topo).trace
+        inter = NetworkModel("x", alpha=2e-6, beta=3e-9, gamma=2e-10)
+        intra = inter.with_(
+            name="fast", alpha=inter.alpha / speedup, beta=inter.beta / speedup
+        )
+        tiered = TieredNetworkModel(
+            name="t", intra=intra, inter=inter, shared_uplink=False
+        )
+        t_tiered = replay(trace, tiered, topology=topo).makespan
+        t_flat = replay(trace, inter).makespan
+        assert t_tiered <= t_flat * (1 + 1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nranks=st.integers(2, 6),
+        nmsgs=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    def test_shared_uplink_never_faster_than_unshared(self, nranks, nmsgs, seed):
+        """Uplink serialization is a pure congestion penalty: it can delay
+        arrivals but never accelerate them."""
+        trace = random_trace(nranks, nmsgs, seed)
+        topo = random_topology(nranks, seed)
+        intra = NetworkModel("i", alpha=1e-7, beta=1e-11, gamma=0)
+        inter = NetworkModel("o", alpha=1e-6, beta=1e-9, gamma=0)
+        shared = TieredNetworkModel(name="s", intra=intra, inter=inter)
+        unshared = shared.with_(shared_uplink=False)
+        t_shared = replay(trace, shared, topology=topo)
+        t_unshared = replay(trace, unshared, topology=topo)
+        assert t_shared.makespan >= t_unshared.makespan - 1e-18
+        for a, b in zip(t_shared.finish_times, t_unshared.finish_times):
+            assert a >= b - 1e-18
 
 
 class TestReplayOnCollectives:

@@ -70,9 +70,34 @@ class TestSweeps:
     def test_algorithm_set_complete(self):
         assert set(ALGORITHM_SET) == {
             "ssar_rec_dbl", "ssar_split_ag", "ssar_ring", "ssar_hier",
-            "dsar_split_ag",
+            "dsar_split_ag", "dsar_hier",
             "dense_rabenseifner", "dense_ring", "dense_rec_dbl",
         }
+
+    def test_tiered_network_spec_accepted(self):
+        """A tiered spec resolves and the tiered replay rewards hierarchy:
+        with simulated hosts the hier row beats flat recursive doubling."""
+        points = sweep_node_counts(
+            [8], dimension=1 << 14, density=0.02,
+            algorithms=["ssar_hier", "ssar_rec_dbl"], network="tiered:gige",
+            ranks_per_node=4,
+        )
+        by_algo = {p.algorithm: p for p in points}
+        assert by_algo["ssar_hier"].time_s < by_algo["ssar_rec_dbl"].time_s
+
+    def test_tiered_preset_name_accepted(self):
+        points = sweep_node_counts(
+            [2], dimension=1024, density=0.01,
+            algorithms=["ssar_rec_dbl"], network="tiered_gige",
+        )
+        assert points[0].time_s > 0
+
+    def test_dsar_hier_sweep_row(self):
+        points = sweep_densities(
+            [0.2], dimension=2048, nranks=4, algorithms=["dsar_hier"],
+            network="tiered:ib_fdr", ranks_per_node=2,
+        )
+        assert points[0].bytes_sent > 0 and points[0].time_s > 0
 
     def test_ranks_per_node_enables_hier_sweep(self):
         points = sweep_node_counts(
@@ -123,6 +148,25 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep-nodes", "--algorithms", "bogus"])
 
+    def test_sweep_rejects_unknown_network(self, capsys):
+        rc = main(["sweep-nodes", "--dimension", "64", "--nodes", "2",
+                   "--network", "token-ring"])
+        assert rc == 2
+        assert "network" in capsys.readouterr().err
+
+    def test_sweep_accepts_tiered_network_spec(self, capsys):
+        rc = main([
+            "sweep-nodes", "--dimension", "1024", "--nodes", "2",
+            "--network", "tiered:gige", "--algorithms", "ssar_rec_dbl",
+        ])
+        assert rc == 0
+        assert "ssar_rec_dbl" in capsys.readouterr().out
+
+    def test_presets_include_tiered(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "tiered_gige" in out and "shm" in out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -139,7 +183,7 @@ class TestBenchKernelsCommand:
         ])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 2 and doc["quick"] is True
+        assert doc["schema"] == 3 and doc["quick"] is True
         assert doc["params"]["dimension"] == 4096
         # every layer present, with sane positive timings
         for name, stats in doc["microkernels"].items():
@@ -157,9 +201,15 @@ class TestBenchKernelsCommand:
         # inter-node column never exceeds the total
         hier = doc["hierarchy"]
         assert set(hier["per_algorithm"]) == set(doc["params"]["algorithms"])
+        assert "dsar_hier" in hier["per_algorithm"]
+        assert hier["replay_flat_preset"] == "ib_fdr"
+        assert hier["replay_tiered_preset"] == "tiered_ib_fdr"
         for row in hier["per_algorithm"].values():
             assert 0 <= row["inter_node_bytes"] <= row["total_bytes"]
             assert row["intra_node_bytes"] + row["inter_node_bytes"] == row["total_bytes"]
+            # schema 3: both replayed makespans present and sane
+            assert row["replay_flat_s"] > 0
+            assert row["replay_tiered_s"] > 0
         assert any(k.startswith("e2e_") for k in doc["headline"])
         assert "wrote" in capsys.readouterr().out
 

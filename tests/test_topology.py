@@ -5,8 +5,10 @@ import pickle
 import pytest
 
 from repro.runtime import (
+    RankError,
     Topology,
     bytes_by_tier,
+    check_topology_size,
     inter_node_bytes,
     normalize_topology,
     run_ranks,
@@ -161,3 +163,64 @@ class TestPlumbing:
             lambda comm: comm.topology, 4, backend="socket", topology="2x2"
         )
         assert all(t == Topology.uniform(4, 2) for t in out.results)
+
+
+MISMATCH = r"topology describes 4 ranks but the world has 2"
+
+
+class TestUniformSizeValidation:
+    """Every launcher path raises the same clear ValueError when the
+    topology's rank count disagrees with the world size."""
+
+    def test_check_topology_size_helper(self):
+        topo = Topology.uniform(4, 2)
+        assert check_topology_size(topo, 4) is topo
+        with pytest.raises(ValueError, match=MISMATCH):
+            check_topology_size(topo, 2)
+
+    def test_run_ranks(self):
+        with pytest.raises(ValueError, match=MISMATCH):
+            run_ranks(lambda comm: None, 2, topology="2x2")
+        with pytest.raises(ValueError, match=MISMATCH):
+            run_ranks(lambda comm: None, 2, topology=Topology.uniform(4, 2))
+
+    def test_run_sparse_allreduce(self):
+        from repro.collectives import run_sparse_allreduce
+        from repro.streams import SparseStream
+
+        streams = [SparseStream(64, indices=[r], values=[1.0]) for r in range(2)]
+        with pytest.raises(ValueError, match=MISMATCH):
+            run_sparse_allreduce(streams, "ssar_rec_dbl", topology="2x2")
+
+    def test_serve_rank_validates_before_any_socket_work(self):
+        from repro.runtime import serve_rank
+
+        # an unroutable rendezvous would hang if validation came later;
+        # the mismatch must be raised immediately instead
+        with pytest.raises(ValueError, match=MISMATCH):
+            serve_rank(("127.0.0.1", 1), 0, 2, topology="2x2")
+
+    def test_subcommunicator_restrict_path(self):
+        """A communicator whose topology was (wrongly) replaced by hand
+        still fails the same way when a sub-communicator restricts it."""
+
+        def prog(comm):
+            comm.topology = Topology.uniform(4, 2)  # lies about the world
+            comm.subgroup([0, 1])
+
+        with pytest.raises(RankError, match=MISMATCH):
+            run_ranks(prog, 2, backend="thread")
+
+    def test_hierarchical_collectives_path(self):
+        from repro.collectives import dsar_hierarchical, ssar_hierarchical
+        from repro.streams import SparseStream
+
+        for algo in (ssar_hierarchical, dsar_hierarchical):
+            def prog(comm, algo=algo):
+                return algo(
+                    comm, SparseStream(64, indices=[0], values=[1.0]),
+                    topology=Topology.uniform(4, 2),
+                )
+
+            with pytest.raises(RankError, match=MISMATCH):
+                run_ranks(prog, 2, backend="thread")
