@@ -61,6 +61,9 @@ from .netsim import (
 from .quant import QSGDQuantizer, QuantizedBlock
 from .runtime import (
     Backend,
+    CommTimeoutError,
+    FaultPlan,
+    RankFailedError,
     Topology,
     Trace,
     available_backends,
@@ -98,6 +101,9 @@ __all__ = [
     "Topology",
     "inter_node_bytes",
     "Trace",
+    "FaultPlan",
+    "RankFailedError",
+    "CommTimeoutError",
     "NetworkModel",
     "TieredNetworkModel",
     "ARIES",

@@ -13,6 +13,13 @@ the parameters").
 Convergence: with a modest learning rate, staleness-1 SGD tracks the
 synchronous trajectory closely (tested); the win is that the replayed
 step time becomes ``max(compute, comm)`` instead of their sum.
+
+Fault tolerance: if a peer rank dies mid-run, the blocked aggregation
+raises :class:`~repro.runtime.comm.RankFailedError`. Instead of crashing,
+this driver degrades gracefully — it records the failed rank on the
+returned history (``history.degraded_rank``) and finishes the remaining
+steps on local gradients only, the simplest instance of the paper's
+"continue with the surviving ranks' contributions" recovery (§6).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..collectives.api import sparse_allreduce
-from ..runtime.comm import Communicator
+from ..runtime.comm import Communicator, RankFailedError, WorldAbortedError
 from ..runtime.nonblocking import i_collective
 from .datasets import SparseDataset, partition_rows
 from .linear import LinearModel
@@ -60,15 +67,28 @@ def distributed_sgd_async(
 
     pending = None  # in-flight collective handle from the previous step
 
-    def apply_update(total_stream) -> None:
+    def apply_update(total_stream, contributors: int) -> None:
         model.apply_regularization(w, config.lr)
         if total_stream.is_dense:
             comm.compute(total_stream.dense_payload.nbytes * 2, "apply")
-            w[:] -= (config.lr / comm.size) * total_stream.dense_payload.astype(np.float64)
+            w[:] -= (config.lr / contributors) * total_stream.dense_payload.astype(np.float64)
         else:
             comm.compute(total_stream.nnz * 12, "apply")
             idx = total_stream.indices.astype(np.int64)
-            w[idx] -= (config.lr / comm.size) * total_stream.values.astype(np.float64)
+            w[idx] -= (config.lr / contributors) * total_stream.values.astype(np.float64)
+
+    def degrade(exc: RankFailedError, doomed_handle) -> None:
+        # a peer died mid-aggregation: remember who, reap the handle that
+        # was launched into the already-aborted world, and fall back to
+        # local-only updates for the rest of the run
+        nonlocal pending
+        history.degraded_rank = exc.rank
+        if doomed_handle is not None:
+            try:
+                doomed_handle.wait()
+            except WorldAbortedError:
+                pass
+        pending = None
 
     for epoch in range(config.epochs):
         grad_nnz: list[int] = []
@@ -79,13 +99,21 @@ def distributed_sgd_async(
             comm.compute(int(X_local[rows].nnz) * 16, "grad")
             grad = model.grad_stream(w, X_local[rows], y_local[rows])
             grad_nnz.append(grad.nnz)
+            if history.degraded_rank is not None:
+                apply_update(grad, 1)
+                continue
             # launch this step's reduction; it progresses while the next
             # batch's gradient is being computed
             handle = i_collective(
                 comm, sparse_allreduce, grad, algorithm=config.algorithm
             )
             if pending is not None:
-                apply_update(pending.wait())
+                try:
+                    apply_update(pending.wait(), comm.size)
+                except RankFailedError as exc:
+                    degrade(exc, handle)
+                    apply_update(grad, 1)
+                    continue
             pending = handle
         history.add(
             EpochRecord(
@@ -97,6 +125,9 @@ def distributed_sgd_async(
             )
         )
     if pending is not None:
-        apply_update(pending.wait())
+        try:
+            apply_update(pending.wait(), comm.size)
+        except RankFailedError as exc:
+            degrade(exc, None)
     history.params = w
     return history

@@ -22,10 +22,17 @@ class EpochRecord:
 
 @dataclass
 class RunHistory:
-    """Accumulated per-epoch records plus final model."""
+    """Accumulated per-epoch records plus final model.
+
+    ``degraded_rank`` is set by drivers that survive a peer failure
+    (see :func:`~repro.mlopt.async_sgd.distributed_sgd_async`): it names
+    the first failed rank after which this rank continued without
+    aggregation. ``None`` means the run stayed fully synchronous.
+    """
 
     records: list[EpochRecord] = field(default_factory=list)
     params: np.ndarray | None = None
+    degraded_rank: int | None = None
 
     def add(self, record: EpochRecord) -> None:
         self.records.append(record)

@@ -22,16 +22,20 @@ from .backend import (
     register_backend,
 )
 from .comm import (
+    AbortState,
+    CommTimeoutError,
     Communicator,
     CompletedHandle,
     DeferredRecvHandle,
     Handle,
+    RankFailedError,
     SubCommunicator,
     TAG_USER_LIMIT,
     WorldAbortedError,
     copy_payload,
     payload_nbytes,
 )
+from .faults import FaultPlan, FaultyBackend, FaultyComm, RankKilledError
 from .launcher import run_ranks
 from .topology import (
     Topology,
@@ -44,6 +48,7 @@ from .nonblocking import NonBlockingHandle, i_collective
 from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
 from .shmem_backend import SharedRing, ShmemBackend, ShmemComm, ShmemWorld
 from .socket_backend import (
+    RendezvousError,
     RendezvousTimeoutError,
     SocketBackend,
     SocketComm,
@@ -89,9 +94,17 @@ __all__ = [
     "SocketBackend",
     "SocketComm",
     "SocketWorld",
+    "RendezvousError",
     "RendezvousTimeoutError",
     "serve_rank",
     "WorldAbortedError",
+    "RankFailedError",
+    "CommTimeoutError",
+    "AbortState",
+    "FaultPlan",
+    "FaultyBackend",
+    "FaultyComm",
+    "RankKilledError",
     "Trace",
     "TraceEvent",
     "SEND",

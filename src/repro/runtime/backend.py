@@ -60,12 +60,19 @@ __all__ = [
 
 
 class RankError(RuntimeError):
-    """Wraps an exception raised inside a rank function."""
+    """Wraps an exception raised inside a rank function.
+
+    ``partial_results`` holds the return values of the ranks that *did*
+    complete (``None`` at failed/aborted slots) — graceful-degradation
+    consumers survive a peer death and still produce results worth
+    inspecting even though the run as a whole failed.
+    """
 
     def __init__(self, rank: int, original: BaseException) -> None:
         super().__init__(f"rank {rank} failed: {type(original).__name__}: {original}")
         self.rank = rank
         self.original = original
+        self.partial_results: "list[Any] | None" = None
 
 
 @dataclass
@@ -103,6 +110,7 @@ class Backend(abc.ABC):
         copy_payloads: bool = True,
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        op_timeout: float | None = None,
         topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
@@ -110,8 +118,10 @@ class Backend(abc.ABC):
 
         Must propagate the first rank failure as :class:`RankError`, abort
         peers blocked on communication instead of deadlocking, enforce
-        ``timeout`` (raising :class:`TimeoutError`), and expose
-        ``topology`` (an already-normalized
+        ``timeout`` (raising :class:`TimeoutError`), expose ``op_timeout``
+        as ``comm.op_timeout`` so blocked per-operation waits raise
+        :class:`~repro.runtime.comm.CommTimeoutError` after that many
+        seconds, and expose ``topology`` (an already-normalized
         :class:`~repro.runtime.topology.Topology` or ``None``) as
         ``comm.topology`` on every rank's communicator.
         """
@@ -136,13 +146,22 @@ def available_backends() -> tuple[str, ...]:
 
 
 def get_backend(spec: "str | Backend") -> Backend:
-    """Resolve a backend name (or pass through an instance)."""
+    """Resolve a backend spec (or pass through an instance).
+
+    Plain names resolve through the registry. A ``"prefix:rest"`` spec
+    resolves ``prefix`` to a registered *wrapper* factory — one whose
+    factory carries ``wraps_spec = True`` — and passes ``rest`` (the
+    wrapped backend's own spec) to it, so wrappers compose with every
+    backend by name: ``get_backend("faulty:shmem")``.
+    """
     if isinstance(spec, Backend):
         return spec
-    try:
-        factory = _REGISTRY[spec]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {spec!r}; choose from {sorted(_REGISTRY)}"
-        ) from None
-    return factory()
+    factory = _REGISTRY.get(spec)
+    if factory is not None:
+        return factory()
+    prefix, sep, rest = spec.partition(":")
+    if sep:
+        wrapper = _REGISTRY.get(prefix)
+        if wrapper is not None and getattr(wrapper, "wraps_spec", False):
+            return wrapper(rest)
+    raise ValueError(f"unknown backend {spec!r}; choose from {sorted(_REGISTRY)}")

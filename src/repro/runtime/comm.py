@@ -67,6 +67,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import time
 from collections import deque
 from typing import Any
 
@@ -83,6 +84,9 @@ __all__ = [
     "CompletedHandle",
     "DeferredRecvHandle",
     "WorldAbortedError",
+    "RankFailedError",
+    "CommTimeoutError",
+    "AbortState",
     "payload_nbytes",
     "copy_payload",
     "TAG_USER_LIMIT",
@@ -120,6 +124,89 @@ class WorldAbortedError(RuntimeError):
     """Raised in ranks blocked on communication after another rank failed."""
 
 
+class RankFailedError(WorldAbortedError):
+    """A specific peer rank died; carries the failed rank id.
+
+    Raised from blocked operations when the backend can attribute the
+    failure to a rank — a pump/doorbell observing EOF without FIN, a send
+    hitting a closed channel, the parent collecting a dead process.
+    Consumers that can degrade gracefully (e.g. asynchronous SGD) catch
+    this and continue with the surviving ranks' contributions.
+    """
+
+    def __init__(self, rank: int, message: "str | None" = None) -> None:
+        super().__init__(message or f"rank {rank} failed; world aborted")
+        self.rank = int(rank)
+
+    def __reduce__(self):
+        # default exception pickling rebuilds from args alone, which would
+        # feed the message string into the ``rank`` parameter
+        return (type(self), (self.rank, self.args[0] if self.args else None))
+
+
+class CommTimeoutError(TimeoutError):
+    """A per-operation timeout (``run_ranks(..., op_timeout=)``) expired.
+
+    Raised from a blocked send/recv whose peer made no progress within
+    ``op_timeout`` seconds — a stalled (but not yet dead) peer surfaces
+    here instead of hanging until the whole-run watchdog.
+    """
+
+    def __init__(
+        self,
+        message: str = "communication operation timed out",
+        source: "int | None" = None,
+        tag: "int | None" = None,
+        timeout: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.tag = tag
+        self.timeout = timeout
+
+    def __reduce__(self):
+        # keep the attributes across the process backend's pickle round-trip
+        msg = self.args[0] if self.args else "communication operation timed out"
+        return (type(self), (msg, self.source, self.tag, self.timeout))
+
+
+class AbortState:
+    """World-failure flag that remembers *which* rank failed first.
+
+    A drop-in upgrade of the bare ``threading.Event`` the backends used:
+    ``set()`` optionally records the failed rank (first writer wins) and
+    ``error()`` builds the matching typed exception for blocked peers —
+    :class:`RankFailedError` when the culprit is known,
+    :class:`WorldAbortedError` otherwise.
+    """
+
+    __slots__ = ("_event", "_lock", "failed_rank")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self.failed_rank: "int | None" = None
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        return self._event.wait(timeout)
+
+    def set(self, failed_rank: "int | None" = None) -> None:
+        if failed_rank is not None:
+            with self._lock:
+                if self.failed_rank is None:
+                    self.failed_rank = failed_rank
+        self._event.set()
+
+    def error(self) -> WorldAbortedError:
+        """A fresh typed exception describing the recorded failure."""
+        if self.failed_rank is not None:
+            return RankFailedError(self.failed_rank)
+        return WorldAbortedError("another rank failed; aborting")
+
+
 #: how often blocked receivers poll the failure flag (seconds).
 _ABORT_POLL_S = 0.05
 
@@ -138,12 +225,33 @@ class Mailbox:
             self.items.append((payload, nbytes, seq))
             self.cond.notify()
 
-    def get(self, aborted: threading.Event) -> tuple[Any, int, int]:
+    def get(
+        self,
+        aborted: "threading.Event | AbortState",
+        timeout: "float | None" = None,
+        source: "int | None" = None,
+        tag: "int | None" = None,
+    ) -> tuple[Any, int, int]:
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self.cond:
             while not self.items:
                 if aborted.is_set():
+                    if isinstance(aborted, AbortState):
+                        raise aborted.error()
                     raise WorldAbortedError("another rank failed; aborting recv")
-                self.cond.wait(timeout=_ABORT_POLL_S)
+                wait = _ABORT_POLL_S
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise CommTimeoutError(
+                            f"recv from rank {source} (tag {tag}) saw no "
+                            f"message within op_timeout={timeout}s",
+                            source=source,
+                            tag=tag,
+                            timeout=timeout,
+                        )
+                    wait = min(wait, remaining)
+                self.cond.wait(timeout=wait)
             return self.items.popleft()
 
     def pop_nowait(self) -> tuple[Any, int, int] | None:
@@ -259,6 +367,11 @@ class Communicator(abc.ABC):
     #: ``None`` means the world is assumed flat. Backends/launchers set it.
     topology: Any = None
 
+    #: per-operation send/recv timeout in seconds (``None`` = block forever,
+    #: bounded only by the run watchdog). Set by backends from
+    #: ``run_ranks(..., op_timeout=)``; proxies delegate to what they wrap.
+    op_timeout: "float | None" = None
+
     _collective_counter: int = 0
     _split_counter: int = 0
     #: window id of this communicator's tag space: 0 = the backend
@@ -294,6 +407,15 @@ class Communicator(abc.ABC):
     def _map_peer(self, peer: int) -> int:
         """Hook for proxy communicators that renumber ranks (sub-comms)."""
         return peer
+
+    def _abort_state(self) -> "AbortState | None":
+        """The world's :class:`AbortState`, if the backend exposes one.
+
+        Backends override this; proxies delegate inward, so non-blocking
+        probes anywhere in a proxy stack can observe world failure.
+        ``None`` means the backend has no abort flag (nothing to observe).
+        """
+        return None
 
     @property
     def world_rank(self) -> int:
@@ -507,6 +629,18 @@ class Communicator(abc.ABC):
         """
         if not isinstance(key, int):
             raise TypeError(f"split key must be an int, got {type(key).__name__}")
+        # validate the color *before* any counter bump or communication: an
+        # invalid color (e.g. a numpy array, whose == breaks the membership
+        # comparison) must not desynchronize the collective/split tag
+        # windows of the surviving ranks
+        if color is not None:
+            try:
+                hash(color)
+            except TypeError:
+                raise TypeError(
+                    "split color must be hashable (colors must compare "
+                    f"atomically across ranks), got {type(color).__name__}"
+                ) from None
         base = self.next_collective_tag()
         everyone = self.gather_to_root((color, key), root=0, tag=base)
         everyone = self.bcast(everyone, root=0, tag=base + 1)
@@ -567,6 +701,10 @@ class SubCommunicator(Communicator):
         return self.parent.world_rank
 
     @property
+    def op_timeout(self) -> "float | None":
+        return self.parent.op_timeout
+
+    @property
     def parent_ranks(self) -> tuple[int, ...]:
         """Parent-rank of every sub-rank (``parent_ranks[sub] -> parent``)."""
         return self._members
@@ -590,6 +728,9 @@ class SubCommunicator(Communicator):
 
     def _probe(self, source: int, tag: int) -> bool:
         return self.parent._probe(source, tag)
+
+    def _abort_state(self) -> "AbortState | None":
+        return self.parent._abort_state()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -639,13 +780,30 @@ class DeferredRecvHandle(Handle):
 
     def wait(self) -> Any:
         if not self._done:
+            # a blocking recv observes world abort through the transport; an
+            # up-front check just surfaces it without touching the mailbox
+            # when the world is already gone
+            state = self._comm._abort_state()
+            if state is not None and state.is_set() and not self.test_quiet():
+                raise state.error()
             self._value = self._comm.recv(self._source, self._tag)
             self._done = True
         return self._value
 
-    def test(self) -> bool:
+    def test_quiet(self) -> bool:
+        """Completion probe that never raises (abort looks like 'not yet')."""
         if self._done:
             return True
         return self._comm._probe(
             self._comm._map_peer(self._source), self._comm._map_tag(self._tag)
         )
+
+    def test(self) -> bool:
+        if self.test_quiet():
+            return True
+        # the matching message can never arrive once the world aborted:
+        # raise like a blocking recv would instead of returning False forever
+        state = self._comm._abort_state()
+        if state is not None and state.is_set():
+            raise state.error()
+        return False

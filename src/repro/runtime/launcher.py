@@ -27,7 +27,9 @@ def run_ranks(
     copy_payloads: bool = True,
     trace: Trace | None = None,
     timeout: float | None = 300.0,
+    op_timeout: float | None = None,
     topology: "Topology | str | int | None" = None,
+    fault_plan: Any = None,
     **kwargs: Any,
 ) -> ParallelResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` concurrent ranks.
@@ -53,6 +55,12 @@ def run_ranks(
         collective invocations into one replayable log).
     timeout:
         Per-run watchdog in seconds; ``None`` disables it.
+    op_timeout:
+        Per-operation deadline in seconds for blocked transport sends and
+        receives; ``None`` (the default) blocks until the run watchdog. A
+        rank stalled past the deadline raises
+        :class:`~repro.runtime.comm.CommTimeoutError` naming the peer and
+        tag, instead of hanging until ``timeout``.
     topology:
         Optional rank -> host map surfaced as ``comm.topology`` on every
         rank: a :class:`~repro.runtime.topology.Topology`, an ``"HxR"``
@@ -60,6 +68,12 @@ def run_ranks(
         (ranks per node), or a per-rank host list. Lets any backend
         *simulate* a multi-host world for topology-aware collectives; on
         the socket backend it overrides the rendezvous-derived map.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` (or spec string,
+        e.g. ``"seed=7,drop=0.02,kill=1@5"``) injecting deterministic
+        drop/delay/kill faults: the resolved backend is wrapped in
+        :class:`~repro.runtime.faults.FaultyBackend` so every rank's
+        transport runs under the plan.
 
     Returns
     -------
@@ -71,13 +85,23 @@ def run_ranks(
     RankError
         Re-raises the first rank failure, chained to the original exception.
     """
-    return get_backend(backend).run(
+    resolved = get_backend(backend)
+    if fault_plan is not None:
+        from .faults import FaultPlan, FaultyBackend
+
+        plan = FaultPlan.from_spec(fault_plan) if isinstance(fault_plan, str) else fault_plan
+        if isinstance(resolved, FaultyBackend):
+            resolved = resolved.with_plan(plan)
+        else:
+            resolved = FaultyBackend(resolved, plan)
+    return resolved.run(
         fn,
         nranks,
         *args,
         copy_payloads=copy_payloads,
         trace=trace,
         timeout=timeout,
+        op_timeout=op_timeout,
         topology=normalize_topology(topology, nranks),
         **kwargs,
     )

@@ -56,6 +56,13 @@ class _BufferedComm(Communicator):
     def world_rank(self) -> int:
         return self.inner.world_rank
 
+    @property
+    def op_timeout(self):
+        return self.inner.op_timeout
+
+    def _abort_state(self):
+        return self.inner._abort_state()
+
     def _map_tag(self, tag: int) -> int:
         # compose inward so proxies stack (e.g. i_collective on a split)
         return self.inner._map_tag(self._tag_base + tag)

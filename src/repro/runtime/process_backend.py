@@ -41,7 +41,14 @@ from multiprocessing.connection import Connection, wait as conn_wait
 from typing import Any, Callable
 
 from .backend import Backend, ParallelResult, RankError, register_backend
-from .comm import Communicator, Mailbox, MailboxRegistry, WorldAbortedError
+from .comm import (
+    AbortState,
+    Communicator,
+    Mailbox,
+    MailboxRegistry,
+    RankFailedError,
+    WorldAbortedError,
+)
 from .trace import RECV, SEND, Trace, TraceEvent
 from .wire import decode_message, encode_message
 
@@ -73,19 +80,22 @@ class MeshComm(Communicator):
     the shared-memory ring transport drives an inline progress engine.
     """
 
-    def _init_mesh(self, rank: int, size: int, trace: Trace) -> None:
+    def _init_mesh(
+        self, rank: int, size: int, trace: Trace, op_timeout: float | None = None
+    ) -> None:
         self.rank = rank
         self.size = size
         self.trace = trace
+        self.op_timeout = op_timeout
         self._collective_counter = 0
         self._mailboxes = MailboxRegistry()
-        self.aborted = threading.Event()
+        self.aborted = AbortState()
 
     def _mailbox(self, src: int, tag: int) -> Mailbox:
         return self._mailboxes.get((src, tag))
 
-    def _abort(self) -> None:
-        self.aborted.set()
+    def _abort(self, failed_rank: int | None = None) -> None:
+        self.aborted.set(failed_rank)
         self._mailboxes.wake_all()
 
     # ------------------------------------------------------------------
@@ -95,10 +105,15 @@ class MeshComm(Communicator):
         return self.trace.next_seq(self.rank, dest, tag)
 
     def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
-        return self._mailbox(source, tag).get(self.aborted)
+        return self._mailbox(source, tag).get(
+            self.aborted, timeout=self.op_timeout, source=source, tag=tag
+        )
 
     def _probe(self, source: int, tag: int) -> bool:
         return self._mailbox(source, tag).has_items()
+
+    def _abort_state(self) -> AbortState:
+        return self.aborted
 
 
 class PumpedComm(MeshComm):
@@ -112,8 +127,10 @@ class PumpedComm(MeshComm):
     pump body and the outbound send.
     """
 
-    def _init_mesh(self, rank: int, size: int, trace: Trace) -> None:
-        super()._init_mesh(rank, size, trace)
+    def _init_mesh(
+        self, rank: int, size: int, trace: Trace, op_timeout: float | None = None
+    ) -> None:
+        super()._init_mesh(rank, size, trace, op_timeout)
         self._receivers: list[threading.Thread] = []
 
     def _start_pump(self, src: int, channel: Any) -> None:
@@ -141,8 +158,9 @@ class ProcessComm(PumpedComm):
         out_conns: list[Connection | None],
         in_conns: list[Connection | None],
         trace: Trace,
+        op_timeout: float | None = None,
     ) -> None:
-        self._init_mesh(rank, size, trace)
+        self._init_mesh(rank, size, trace, op_timeout)
         self._out_conns = out_conns
         self._out_locks = [threading.Lock() if c is not None else None for c in out_conns]
         for src, conn in enumerate(in_conns):
@@ -173,8 +191,9 @@ class ProcessComm(PumpedComm):
                     buf = bytearray(max(len(frame), 2 * len(buf)))
             except (EOFError, OSError):
                 # EOF with no FIN first: the peer died mid-run. Wake anyone
-                # blocked on its (or anyone's) traffic so the rank unwinds.
-                self._abort()
+                # blocked on its (or anyone's) traffic so the rank unwinds
+                # with a RankFailedError naming the dead peer.
+                self._abort(failed_rank=src)
                 return
             try:
                 # copy=True (default): the scratch buffer is reused, so the
@@ -210,8 +229,8 @@ class ProcessComm(PumpedComm):
             with lock:
                 conn.send_bytes(blob)
         except (BrokenPipeError, OSError) as exc:
-            self._abort()
-            raise WorldAbortedError(f"rank {dest} is gone; send failed") from exc
+            self._abort(failed_rank=dest)
+            raise RankFailedError(dest, f"rank {dest} is gone; send failed") from exc
 
 
 class ProcessWorld:
@@ -237,6 +256,7 @@ def _child_main(
     result_conn: Connection,
     close_list: list[Connection],
     topology: Any = None,
+    op_timeout: float | None = None,
 ) -> None:
     """Entry point of one rank process."""
     # under fork every pipe end of every rank was inherited; drop the ones
@@ -248,7 +268,7 @@ def _child_main(
             pass
 
     trace = Trace(size)
-    comm = ProcessComm(rank, size, out_conns, in_conns, trace)
+    comm = ProcessComm(rank, size, out_conns, in_conns, trace, op_timeout)
     comm.topology = topology
     try:
         result = fn(comm, *args, **kwargs)
@@ -307,7 +327,9 @@ def _finalize_run(
     _merge_events(run_trace, per_rank_events)
     if errors:
         rank, original = min(errors, key=lambda e: e[0])
-        raise RankError(rank, original) from original
+        err = RankError(rank, original)
+        err.partial_results = results
+        raise err from original
     if aborted_ranks:
         # a rank unwound with WorldAbortedError but nobody reported the
         # root failure (e.g. an undecodable frame killed a pump thread);
@@ -317,7 +339,9 @@ def _finalize_run(
             f"rank {rank} aborted (peer connection or frame failure "
             "without a reported rank error)"
         )
-        raise RankError(rank, original) from original
+        err = RankError(rank, original)
+        err.partial_results = results
+        raise err from original
     return ParallelResult(results=results, trace=run_trace, world=world)
 
 
@@ -334,6 +358,7 @@ class ProcessBackend(Backend):
         copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        op_timeout: float | None = None,
         topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
@@ -387,6 +412,7 @@ class ProcessBackend(Backend):
                         result_pipes[rank][1],
                         close_list,
                         topology,
+                        op_timeout,
                     ),
                     name=f"rank-{rank}",
                     daemon=True,
@@ -481,7 +507,7 @@ class ProcessBackend(Backend):
                     procs[rank].join(timeout=1.0)  # reap so exitcode is real
                     code = procs[rank].exitcode
                     errors.append(
-                        (rank, RuntimeError(f"rank {rank} process died (exitcode {code})"))
+                        (rank, RankFailedError(rank, f"rank {rank} process died (exitcode {code})"))
                     )
                     del pending[rank]
                     # a hard-dead rank reads nothing either: drain its inbound

@@ -72,7 +72,7 @@ from multiprocessing.connection import Connection, wait as conn_wait
 from typing import Any, Callable
 
 from .backend import Backend, ParallelResult, register_backend
-from .comm import WorldAbortedError
+from .comm import CommTimeoutError, RankFailedError, WorldAbortedError
 from .process_backend import (
     _ERROR_GRACE_S,
     _FIN_TAG,
@@ -433,8 +433,9 @@ class ShmemComm(MeshComm):
         out_rings: list[SharedRing | None],
         in_rings: list[SharedRing | None],
         trace: Trace,
+        op_timeout: float | None = None,
     ) -> None:
-        self._init_mesh(rank, size, trace)
+        self._init_mesh(rank, size, trace, op_timeout)
         self._out_rings = out_rings
         self._out_locks = [threading.Lock() if r is not None else None for r in out_rings]
         self._in_rings = in_rings
@@ -538,7 +539,7 @@ class ShmemComm(MeshComm):
             if not wakeups:  # EOF with no FIN first: the peer died mid-run
                 self._watch.pop(fd, None)
                 if not self._fin[src]:
-                    self._abort()
+                    self._abort(failed_rank=src)
         if readable:
             self._drain_rings()
 
@@ -576,19 +577,51 @@ class ShmemComm(MeshComm):
     # ------------------------------------------------------------------
     # transport hooks (_alloc_seq inherited from MeshComm)
     # ------------------------------------------------------------------
+    def _send_deadline_hook(self, dest: int, tag: int) -> Callable[[], bool]:
+        """The blocked-send progress hook, bounded by ``op_timeout``.
+
+        The hook doubles as the abort check of :meth:`SharedRing.write`;
+        raising out of it unwinds the write cleanly (the frame slot is not
+        yet published at every point the hook runs).
+        """
+        deadline = time.monotonic() + self.op_timeout
+
+        def hook() -> bool:
+            if time.monotonic() >= deadline:
+                raise CommTimeoutError(
+                    f"send to rank {dest} (tag {tag}) blocked on a full ring "
+                    f"for op_timeout={self.op_timeout}s",
+                    source=dest,
+                    tag=tag,
+                    timeout=self.op_timeout,
+                )
+            return self._send_progress_hook()
+
+        return hook
+
     def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
         total, parts = encode_frame_parts(tag, seq, nbytes, obj)
         ring = self._out_rings[dest]
+        hook = (
+            self._send_progress_hook
+            if self.op_timeout is None
+            else self._send_deadline_hook(dest, tag)
+        )
         with self._out_locks[dest]:
-            ok = ring.write(parts, total, self._send_progress_hook, ding=False)
+            ok = ring.write(parts, total, hook, ding=False)
         if not ok:
-            self._abort()
-            raise WorldAbortedError(f"rank {dest} is gone; send failed")
+            if self.aborted.is_set():
+                # the write observed the abort flag: name the true culprit
+                raise self.aborted.error()
+            # the doorbell write end is gone: the destination itself died
+            self._abort(failed_rank=dest)
+            raise RankFailedError(dest, f"rank {dest} is gone; send failed")
         with self._ding_lock:
             self._pending_dings.add(dest)
 
     def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
         box = self._mailbox(source, tag)
+        deadline = None if self.op_timeout is None else time.monotonic() + self.op_timeout
         while True:
             item = box.pop_nowait()
             if item is not None:
@@ -597,7 +630,15 @@ class ShmemComm(MeshComm):
                 self._flush_dings()
                 return item
             if self.aborted.is_set():
-                raise WorldAbortedError("another rank failed; aborting recv")
+                raise self.aborted.error()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise CommTimeoutError(
+                    f"recv from rank {source} (tag {tag}) saw no message "
+                    f"within op_timeout={self.op_timeout}s",
+                    source=source,
+                    tag=tag,
+                    timeout=self.op_timeout,
+                )
             self._flush_dings()  # about to block: wake the peers we fed
             if self._progress_lock.acquire(blocking=False):
                 try:
@@ -656,6 +697,7 @@ def _child_main(
     result_conn: Connection,
     close_list: list[Connection],
     topology: Any = None,
+    op_timeout: float | None = None,
 ) -> None:
     """Entry point of one rank process."""
     # under fork every doorbell/result end of every rank was inherited; drop
@@ -667,7 +709,7 @@ def _child_main(
             pass
 
     trace = Trace(size)
-    comm = ShmemComm(rank, size, out_rings, in_rings, trace)
+    comm = ShmemComm(rank, size, out_rings, in_rings, trace, op_timeout)
     comm.topology = topology
     try:
         result = fn(comm, *args, **kwargs)
@@ -701,6 +743,7 @@ class ShmemBackend(Backend):
         copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        op_timeout: float | None = None,
         topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
@@ -756,6 +799,7 @@ class ShmemBackend(Backend):
                             result_pipes[rank][1],
                             close_list,
                             topology,
+                            op_timeout,
                         ),
                         name=f"rank-{rank}",
                         daemon=True,
@@ -855,7 +899,7 @@ class ShmemBackend(Backend):
                     procs[rank].join(timeout=1.0)  # reap so exitcode is real
                     code = procs[rank].exitcode
                     errors.append(
-                        (rank, RuntimeError(f"rank {rank} process died (exitcode {code})"))
+                        (rank, RankFailedError(rank, f"rank {rank} process died (exitcode {code})"))
                     )
                     del pending[rank]
                     drainable.extend(r for r in in_rings[rank] if r is not None)

@@ -62,7 +62,7 @@ from typing import Any, Callable
 import numpy as np
 
 from .backend import ParallelResult, register_backend
-from .comm import WorldAbortedError
+from .comm import CommTimeoutError, RankFailedError, WorldAbortedError
 from .process_backend import (
     _FIN_TAG,
     _START_METHOD,
@@ -77,6 +77,7 @@ from .trace import Trace
 from .wire import decode_message, encode_frame_parts
 
 __all__ = [
+    "RendezvousError",
     "RendezvousTimeoutError",
     "SocketBackend",
     "SocketComm",
@@ -112,7 +113,17 @@ _RETRY_S = 0.05
 _HANDSHAKE_S = 2.0
 
 
-class RendezvousTimeoutError(TimeoutError):
+class RendezvousError(RuntimeError):
+    """World assembly through the rendezvous failed.
+
+    The family every rendezvous-stage failure belongs to, so callers can
+    catch one type: timeouts raise the :class:`RendezvousTimeoutError`
+    subclass, non-timeout protocol failures (e.g. a malformed address
+    map) raise this class directly.
+    """
+
+
+class RendezvousTimeoutError(RendezvousError, TimeoutError):
     """The world never fully assembled within the rendezvous timeout."""
 
 
@@ -251,7 +262,9 @@ def _rendezvous_client(
     finally:
         sock.close()
     if len(addrs) != nranks:
-        raise RuntimeError(f"rendezvous returned {len(addrs)} addresses, expected {nranks}")
+        raise RendezvousError(
+            f"rendezvous returned {len(addrs)} addresses, expected {nranks}"
+        )
     return [tuple(a) for a in addrs]
 
 
@@ -332,8 +345,9 @@ class SocketComm(PumpedComm):
         out_socks: list[socket.socket | None],
         in_socks: list[socket.socket | None],
         trace: Trace,
+        op_timeout: float | None = None,
     ) -> None:
-        self._init_mesh(rank, size, trace)
+        self._init_mesh(rank, size, trace, op_timeout)
         self._out_socks = out_socks
         self._in_socks = in_socks
         self._out_locks = [threading.Lock() if s is not None else None for s in out_socks]
@@ -366,9 +380,15 @@ class SocketComm(PumpedComm):
                     buf = bytearray(max(length, 2 * len(buf)))
                 frame = memoryview(buf)[:length]
                 _recv_exact(sock, frame)
-            except (EOFError, OSError, ValueError, MemoryError):
-                # MemoryError: a corrupt length under _MAX_FRAME can still be
-                # unallocatable — abort the world rather than dying silently
+            except (EOFError, OSError):
+                # EOF (or a reset) with no FIN first: the peer died mid-run —
+                # blocked peers unwind with a RankFailedError naming it
+                self._abort(failed_rank=src)
+                return
+            except (ValueError, MemoryError):
+                # corrupt frame length (a MemoryError: a length under
+                # _MAX_FRAME can still be unallocatable) — abort the world
+                # rather than dying silently; the culprit is unattributable
                 self._abort()
                 return
             try:
@@ -411,10 +431,26 @@ class SocketComm(PumpedComm):
         lock = self._out_locks[dest]
         try:
             with lock:
-                sock.sendall(blob)
-        except OSError as exc:
+                if self.op_timeout is None:
+                    sock.sendall(blob)
+                else:
+                    sock.settimeout(self.op_timeout)
+                    try:
+                        sock.sendall(blob)
+                    finally:
+                        sock.settimeout(None)
+        except TimeoutError as exc:  # socket.timeout: the peer stopped reading
             self._abort()
-            raise WorldAbortedError(f"rank {dest} is gone; send failed") from exc
+            raise CommTimeoutError(
+                f"send to rank {dest} (tag {tag}) made no progress within "
+                f"op_timeout={self.op_timeout}s",
+                source=dest,
+                tag=tag,
+                timeout=self.op_timeout,
+            ) from exc
+        except OSError as exc:
+            self._abort(failed_rank=dest)
+            raise RankFailedError(dest, f"rank {dest} is gone; send failed") from exc
 
     def shutdown(self) -> None:
         """Graceful wind-down: tell every peer this rank is done sending."""
@@ -458,6 +494,7 @@ def _join_world(
     timeout: float,
     trace: Trace,
     topology: Topology | None = None,
+    op_timeout: float | None = None,
 ) -> SocketComm:
     """Bind a mesh listener, rendezvous, build the mesh, return the comm.
 
@@ -474,7 +511,7 @@ def _join_world(
         out_socks, in_socks = _connect_mesh(rank, nranks, listener, addrs, timeout)
     finally:
         listener.close()
-    comm = SocketComm(rank, nranks, out_socks, in_socks, trace)
+    comm = SocketComm(rank, nranks, out_socks, in_socks, trace, op_timeout)
     comm.topology = (
         topology if topology is not None else Topology(tuple(h for h, _p in addrs))
     )
@@ -513,6 +550,7 @@ def _socket_child_main(
     result_conn: Connection,
     close_list: list,
     topology: Topology | None = None,
+    op_timeout: float | None = None,
 ) -> None:
     """Entry point of one rank process."""
     # under fork every result-pipe end and the rendezvous listener were
@@ -526,7 +564,8 @@ def _socket_child_main(
     trace = Trace(nranks)
     try:
         comm = _join_world(
-            rank, nranks, rdv_addr, "127.0.0.1", setup_timeout, trace, topology
+            rank, nranks, rdv_addr, "127.0.0.1", setup_timeout, trace, topology,
+            op_timeout,
         )
     except BaseException as exc:  # noqa: BLE001 - setup failure is the rank failure
         result_conn.send(("error", rank, _portable_exception(exc), []))
@@ -582,6 +621,7 @@ class SocketBackend(ProcessBackend):
         copy_payloads: bool = True,  # serialization always isolates; accepted for API parity
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        op_timeout: float | None = None,
         topology: Topology | None = None,
         **kwargs: Any,
     ) -> ParallelResult:
@@ -621,6 +661,7 @@ class SocketBackend(ProcessBackend):
                         result_pipes[rank][1],
                         close_list,
                         topology,
+                        op_timeout,
                     ),
                     name=f"rank-{rank}",
                     daemon=True,
@@ -722,6 +763,8 @@ def serve_rank(
     rendezvous_timeout: float = DEFAULT_RENDEZVOUS_TIMEOUT,
     verbose: bool = False,
     topology: "Topology | str | int | None" = None,
+    op_timeout: float | None = None,
+    fault_plan: Any = None,
 ) -> Any:
     """Run one rank of a multi-host socket world and return its result.
 
@@ -740,11 +783,28 @@ def serve_rank(
     ``nranks`` before any socket work starts, with the same error every
     launcher raises. ``verbose=True`` additionally logs the host grouping
     to stderr once the world assembles.
+
+    ``op_timeout`` bounds every blocked send/recv of this rank
+    (:class:`~repro.runtime.comm.CommTimeoutError` past it); ``fault_plan``
+    (a :class:`~repro.runtime.faults.FaultPlan` or its spec string, e.g.
+    ``"seed=7,drop=0.01"``) runs the program through the fault-injecting
+    communicator for manual chaos runs.
     """
     if not 0 <= rank < nranks:
         raise ValueError(f"rank {rank} out of range [0, {nranks})")
     topo = normalize_topology(topology, nranks)
     fn = program if callable(program) else _resolve_program(program)
+    if fault_plan is not None:
+        from .faults import FaultPlan, FaultyComm
+
+        plan = (
+            FaultPlan.from_spec(fault_plan) if isinstance(fault_plan, str) else fault_plan
+        )
+        inner_fn = fn
+
+        def fn(comm, *fargs, **fkwargs):  # noqa: F811 - deliberate wrap
+            return inner_fn(FaultyComm(comm, plan), *fargs, **fkwargs)
+
     server: threading.Thread | None = None
     if rank == 0:
         rdv_listener = _bind_listener(rendezvous[0], rendezvous[1], nranks)
@@ -756,7 +816,9 @@ def serve_rank(
         )
         server.start()
     trace = Trace(nranks)
-    comm = _join_world(rank, nranks, rendezvous, host, rendezvous_timeout, trace, topo)
+    comm = _join_world(
+        rank, nranks, rendezvous, host, rendezvous_timeout, trace, topo, op_timeout
+    )
     if verbose:
         print(
             f"[serve-rank {rank}/{nranks}] world assembled: "

@@ -22,6 +22,7 @@ from typing import Any, Callable
 
 from .backend import Backend, ParallelResult, RankError, register_backend
 from .comm import (
+    AbortState,
     Communicator,
     CompletedHandle,
     DeferredRecvHandle,
@@ -52,6 +53,7 @@ class ThreadWorld:
         copy_payloads: bool = True,
         trace: Trace | None = None,
         topology: Any = None,
+        op_timeout: float | None = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -59,15 +61,16 @@ class ThreadWorld:
         self.copy_payloads = copy_payloads
         self.trace = trace if trace is not None else Trace(size)
         self.topology = topology
-        self.aborted = threading.Event()
+        self.op_timeout = op_timeout
+        self.aborted = AbortState()
         self._mailboxes = MailboxRegistry()
 
     def mailbox(self, src: int, dst: int, tag: int) -> Mailbox:
         return self._mailboxes.get((src, dst, tag))
 
-    def abort(self) -> None:
+    def abort(self, failed_rank: int | None = None) -> None:
         """Flag the world as failed and wake all blocked receivers."""
-        self.aborted.set()
+        self.aborted.set(failed_rank)
         self._mailboxes.wake_all()
 
     def comm(self, rank: int) -> "ThreadComm":
@@ -86,6 +89,7 @@ class ThreadComm(Communicator):
         self.size = world.size
         self.trace = world.trace
         self.topology = world.topology
+        self.op_timeout = world.op_timeout
         self._collective_counter = 0
 
     # ------------------------------------------------------------------
@@ -100,10 +104,13 @@ class ThreadComm(Communicator):
 
     def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
         box = self.world.mailbox(source, self.rank, tag)
-        return box.get(self.world.aborted)
+        return box.get(self.world.aborted, timeout=self.op_timeout, source=source, tag=tag)
 
     def _probe(self, source: int, tag: int) -> bool:
         return self.world.mailbox(source, self.rank, tag).has_items()
+
+    def _abort_state(self) -> AbortState:
+        return self.world.aborted
 
 
 class ThreadBackend(Backend):
@@ -120,13 +127,18 @@ class ThreadBackend(Backend):
         copy_payloads: bool = True,
         trace: Trace | None = None,
         timeout: float | None = 300.0,
+        op_timeout: float | None = None,
         topology: Any = None,
         **kwargs: Any,
     ) -> ParallelResult:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         world = ThreadWorld(
-            nranks, copy_payloads=copy_payloads, trace=trace, topology=topology
+            nranks,
+            copy_payloads=copy_payloads,
+            trace=trace,
+            topology=topology,
+            op_timeout=op_timeout,
         )
         results: list[Any] = [None] * nranks
         errors: list[tuple[int, BaseException]] = []
@@ -141,7 +153,7 @@ class ThreadBackend(Backend):
             except BaseException as exc:  # noqa: BLE001 - must propagate rank errors
                 with errors_lock:
                     errors.append((rank, exc))
-                world.abort()
+                world.abort(failed_rank=rank)
 
         threads = [
             threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}", daemon=True)
@@ -160,7 +172,9 @@ class ThreadBackend(Backend):
 
         if errors:
             rank, original = min(errors, key=lambda e: e[0])
-            raise RankError(rank, original) from original
+            err = RankError(rank, original)
+            err.partial_results = results
+            raise err from original
         return ParallelResult(results=results, trace=world.trace, world=world)
 
 

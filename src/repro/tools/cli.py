@@ -178,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the rendezvous-derived rank->host map with a "
              "simulated one (e.g. 2x2; must describe --nranks ranks)",
     )
+    serve.add_argument(
+        "--op-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-operation send/recv deadline: a stalled peer raises "
+             "CommTimeoutError instead of hanging for the whole run",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="inject deterministic faults into this rank's transport, e.g. "
+             "'seed=7,drop=0.02,delay=0.1/0.005,kill=1@5' "
+             "(see repro.runtime.faults.FaultPlan.from_spec)",
+    )
 
     sub.add_parser("presets", help="show network model presets")
     return parser
@@ -230,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
             rendezvous_timeout=args.timeout,
             verbose=True,  # log the assembled (rank, host) grouping
             topology=args.topology,
+            op_timeout=args.op_timeout,
+            fault_plan=args.fault_plan,
         )
         print(f"rank {args.rank}/{args.nranks} finished: {result!r}")
         return 0
