@@ -25,6 +25,16 @@ bit-identical under network jitter, while ``kill=3@4`` shows the typed
 :class:`RankFailedError` failure surface. ``--op-timeout`` bounds every
 blocked send/recv so a dropped message fails fast instead of hanging.
 
+``--elastic`` (with a ``kill=R@N`` fault plan) demonstrates the elastic
+world instead of exiting on the failure: survivors catch the typed error,
+``shrink()`` past the dead rank and re-run the allreduce on the smaller
+world, printing the post-shrink checksum every survivor agrees on. Add a
+``revive=R@N`` clause (thread backend) and the demo also brings the killed
+rank back through ``thread_rejoin`` + ``ElasticContext.step()`` and
+re-verifies the checksum on the regrown full-size world:
+
+    python examples/quickstart.py --elastic --fault-plan kill=3@4,revive=3@8
+
 ``--topology 2x4`` simulates a cluster of 2 hosts x 4 ranks: the table
 gains an "MB inter" column (bytes crossing the simulated slow tier), a
 "gige-2tier" column (replay under the two-tier GigE preset, where
@@ -75,6 +85,219 @@ def make_contribution(rank: int) -> SparseStream:
     return SparseStream.random_uniform(DIMENSION, nnz=NNZ, rng=rng)
 
 
+def _checksum(stream: SparseStream) -> float:
+    return float(stream.to_dense().sum())
+
+
+def _elastic_shrink_prog(comm):
+    """Rank program for the --elastic demo: shrink past the kill, re-sum.
+
+    Module-level (not a closure) so the process backend's spawn fallback
+    can pickle it into the workers.
+    """
+    from repro.runtime import RankFailedError
+
+    try:
+        # iterate like a training loop so a kill=R@N clause with any
+        # trigger threshold eventually fires mid-step
+        for _ in range(50):
+            sparse_allreduce(
+                comm, make_contribution(comm.rank), algorithm="ssar_rec_dbl"
+            )
+            # the kill may land after this rank already holds its result;
+            # the barrier guarantees every survivor observes the dead rank
+            comm.barrier()
+        return ("clean",)
+    except RankFailedError:
+        world = comm.shrink()
+        out = sparse_allreduce(
+            world,
+            make_contribution(world.parent_ranks[world.rank]),
+            algorithm="ssar_rec_dbl",
+        )
+        return ("shrunk", world.epoch, world.size, _checksum(out))
+
+
+def elastic_demo(args, fault_plan) -> None:
+    """kill -> typed error -> shrink() -> verified post-shrink checksum.
+
+    With a ``revive=R@N`` clause the demo runs on a hand-built thread
+    world instead so the killed rank can come back through
+    ``thread_rejoin`` while the survivors commit the join with
+    ``ElasticContext.step()``.
+    """
+    import threading
+    import time
+
+    from repro.runtime import (
+        ElasticContext,
+        RankError,
+        RankFailedError,
+        RankKilledError,
+        ThreadWorld,
+        thread_rejoin,
+    )
+    from repro.runtime.faults import FaultyComm
+
+    victim = fault_plan.kill_rank if fault_plan else None
+    if victim is None:
+        print("--elastic needs a kill=R@N clause in --fault-plan", file=sys.stderr)
+        sys.exit(2)
+    expected_shrunk = float(
+        reduce_streams(
+            [make_contribution(r) for r in range(P) if r != victim]
+        ).to_dense().sum()
+    )
+    expected_full = float(
+        reduce_streams([make_contribution(r) for r in range(P)]).to_dense().sum()
+    )
+    rejoining = fault_plan.revive_rank is not None
+    print(
+        f"elastic demo: P={P}, kill rank {victim} at op "
+        f"{fault_plan.kill_after_ops}, shrink to P={P - 1}"
+        + (f", then rejoin rank {fault_plan.revive_rank}" if rejoining else "")
+    )
+
+    if not rejoining:
+        # any backend: survivors shrink and re-reduce; the run as a whole
+        # still reports the victim's death as a typed world-level error
+        try:
+            run_ranks(
+                _elastic_shrink_prog, P, backend=args.backend,
+                fault_plan=fault_plan, op_timeout=args.op_timeout,
+            )
+            print("the kill clause never fired — nothing to demonstrate")
+            sys.exit(1)
+        except RankError as exc:
+            rows = exc.partial_results or [None] * P
+            ok = True
+            for rank, row in enumerate(rows):
+                if rank == victim:
+                    print(f"  rank {rank}: killed ({type(exc.__cause__).__name__})")
+                    continue
+                if not row or row[0] != "shrunk":
+                    print(f"  rank {rank}: {row!r}  <- expected a shrunk result")
+                    ok = False
+                    continue
+                _, epoch, size, checksum = row
+                match = np.isclose(checksum, expected_shrunk, atol=1e-4)
+                ok &= bool(match)
+                print(
+                    f"  rank {rank}: epoch={epoch} size={size} "
+                    f"checksum={checksum:.4f} "
+                    f"({'matches' if match else 'MISMATCH vs'} "
+                    f"expected {expected_shrunk:.4f})"
+                )
+            print(
+                "\nall survivors agree on the post-shrink sum"
+                if ok else "\nchecksum mismatch — elastic demo FAILED"
+            )
+            sys.exit(0 if ok else 1)
+
+    # revive path: thread backend only (rejoin of an OS process is the
+    # serve-rank --rejoin flow; see ROADMAP.md)
+    world = ThreadWorld(P, op_timeout=args.op_timeout or 60.0)
+    results: dict = {}
+
+    def rank_thread(rank: int) -> None:
+        comm = FaultyComm(world.comm(rank), fault_plan)
+        try:
+            try:
+                for _ in range(50):
+                    sparse_allreduce(
+                        comm, make_contribution(rank), algorithm="ssar_rec_dbl"
+                    )
+                    comm.barrier()
+                results[rank] = ("clean",)
+                return
+            except RankFailedError:
+                pass
+            shrunk = comm.shrink()
+            out1 = sparse_allreduce(
+                shrunk, make_contribution(rank), algorithm="ssar_rec_dbl"
+            )
+            # poll for the rejoin; step() is collective, so the survivors
+            # stay in lockstep until the join commits
+            ctx = ElasticContext(shrunk)
+            grown = shrunk
+            for _ in range(15000):
+                grown = ctx.step()
+                if grown.size == P:
+                    break
+                time.sleep(0.002)
+            out2 = sparse_allreduce(
+                grown,
+                make_contribution(grown.parent_ranks[grown.rank]),
+                algorithm="ssar_rec_dbl",
+            )
+            results[rank] = (
+                "shrunk+regrown", shrunk.epoch, grown.epoch,
+                _checksum(out1), _checksum(out2),
+            )
+        except RankKilledError:
+            world.abort(failed_rank=rank)
+            results[rank] = ("killed",)
+
+    def reviver() -> None:
+        deadline = time.monotonic() + 60.0
+        while victim not in world.dead_ranks:
+            if time.monotonic() > deadline:
+                results["revived"] = ("victim never declared dead",)
+                return
+            time.sleep(0.002)
+        comm = thread_rejoin(world, victim, timeout=60.0)
+        out = sparse_allreduce(
+            comm, make_contribution(victim), algorithm="ssar_rec_dbl"
+        )
+        results["revived"] = ("rejoined", comm.epoch, _checksum(out))
+
+    threads = [
+        threading.Thread(target=rank_thread, args=(r,), daemon=True)
+        for r in range(P)
+    ] + [threading.Thread(target=reviver, daemon=True)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+
+    ok = results.get(victim) == ("killed",)
+    for rank in range(P):
+        if rank == victim:
+            print(f"  rank {rank}: killed, later rejoined")
+            continue
+        row = results.get(rank)
+        if not row or row[0] != "shrunk+regrown":
+            print(f"  rank {rank}: {row!r}  <- expected shrunk+regrown")
+            ok = False
+            continue
+        _, e1, e2, c1, c2 = row
+        match = np.isclose(c1, expected_shrunk, atol=1e-4) and np.isclose(
+            c2, expected_full, atol=1e-4
+        )
+        ok &= bool(match)
+        print(
+            f"  rank {rank}: epoch {e1}->{e2} shrunk-checksum={c1:.4f} "
+            f"regrown-checksum={c2:.4f} ({'match' if match else 'MISMATCH'})"
+        )
+    revived = results.get("revived")
+    if revived and revived[0] == "rejoined":
+        match = np.isclose(revived[2], expected_full, atol=1e-4)
+        ok &= bool(match)
+        print(
+            f"  rank {victim} (rejoined): epoch={revived[1]} "
+            f"checksum={revived[2]:.4f} ({'match' if match else 'MISMATCH'})"
+        )
+    else:
+        print(f"  rejoin failed: {revived!r}")
+        ok = False
+    print(
+        "\nkill -> shrink -> rejoin cycle verified: the regrown world "
+        "computes the full-world sum"
+        if ok else "\nelastic demo FAILED"
+    )
+    sys.exit(0 if ok else 1)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -100,12 +323,21 @@ def main() -> None:
         help="per-operation send/recv deadline: a stalled or dropped message "
              "raises CommTimeoutError instead of hanging the run",
     )
+    parser.add_argument(
+        "--elastic", action="store_true",
+        help="with a kill=R@N fault plan: survivors shrink() past the dead "
+             "rank and verify the post-shrink checksum; add revive=R@N "
+             "(thread backend) to also rejoin the killed rank",
+    )
     args = parser.parse_args()
     backend = args.backend
     topology = Topology.from_spec(args.topology) if args.topology else None
     fault_plan = FaultPlan.from_spec(args.fault_plan) if args.fault_plan else None
     if fault_plan:
         print(f"fault injection active: {fault_plan.describe()}\n")
+    if args.elastic:
+        elastic_demo(args, fault_plan)
+        return
 
     reference = reduce_streams([make_contribution(r) for r in range(P)]).to_dense()
 

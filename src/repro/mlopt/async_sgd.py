@@ -15,11 +15,23 @@ synchronous trajectory closely (tested); the win is that the replayed
 step time becomes ``max(compute, comm)`` instead of their sum.
 
 Fault tolerance: if a peer rank dies mid-run, the blocked aggregation
-raises :class:`~repro.runtime.comm.RankFailedError`. Instead of crashing,
-this driver degrades gracefully — it records the failed rank on the
-returned history (``history.degraded_rank``) and finishes the remaining
-steps on local gradients only, the simplest instance of the paper's
-"continue with the surviving ranks' contributions" recovery (§6).
+raises :class:`~repro.runtime.comm.RankFailedError`. Two recovery modes:
+
+``on_failure="degrade"`` (default)
+    record the failed rank on the returned history
+    (``history.degraded_rank``) and finish the remaining steps on local
+    gradients only — the simplest instance of the paper's "continue with
+    the surviving ranks' contributions" recovery (§6).
+``on_failure="shrink"``
+    reform the world without the dead rank through
+    :func:`~repro.runtime.elastic.shrink`, finish the current epoch on
+    local gradients (survivors may detect the failure at different step
+    offsets; the epoch boundary realigns them), then resume synchronized
+    aggregation among the survivors. Each epoch boundary also commits at
+    most one pending rejoin (:meth:`ElasticContext.step`) and broadcasts
+    the model to the regrown world, so a revived rank re-enters training
+    via ``resume=True`` without a restart. ``history.world_sizes``
+    records the aggregating world size per epoch.
 """
 
 from __future__ import annotations
@@ -28,7 +40,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..collectives.api import sparse_allreduce
+from ..collectives.selector import choose_algorithm
 from ..runtime.comm import Communicator, RankFailedError, WorldAbortedError
+from ..runtime.elastic import ElasticContext
 from ..runtime.nonblocking import i_collective
 from .datasets import SparseDataset, partition_rows
 from .linear import LinearModel
@@ -38,11 +52,25 @@ from .sgd import SGDConfig, comm_bytes_sent
 __all__ = ["distributed_sgd_async"]
 
 
+def _grow_root(members: tuple, joiner: int) -> int:
+    """Group rank all parties agree broadcasts the model after a regrow.
+
+    The root must be a *survivor* (the joiner has no current model), and
+    both sides must pick it without further communication: the lowest
+    member that is not the joiner.
+    """
+    root_world_rank = min(r for r in members if r != joiner)
+    return members.index(root_world_rank)
+
+
 def distributed_sgd_async(
     comm: Communicator,
     dataset: SparseDataset,
     model: LinearModel,
     config: SGDConfig,
+    *,
+    on_failure: str = "degrade",
+    resume: bool = False,
 ) -> RunHistory:
     """Data-parallel SGD with one-step-pipelined sparse aggregation.
 
@@ -50,9 +78,19 @@ def distributed_sgd_async(
     (the non-blocking collective machinery lives there). Only sparse mode
     is supported — the asynchronous pipeline exists to hide the sparse
     exchange behind gradient computation.
+
+    ``resume=True`` (elastic mode only) is the entry point for a rank
+    that rejoined a running world through
+    :func:`~repro.runtime.elastic.thread_rejoin`: it receives the current
+    ``(epoch, model)`` from the grow broadcast and joins the loop at
+    that epoch.
     """
     if config.mode != "sparse":
         raise ValueError("asynchronous aggregation supports sparse mode only")
+    if on_failure not in ("degrade", "shrink"):
+        raise ValueError(f"on_failure must be 'degrade' or 'shrink', got {on_failure!r}")
+    if resume and on_failure != "shrink":
+        raise ValueError("resume=True requires on_failure='shrink'")
     shard = partition_rows(dataset.n_samples, comm.size, comm.rank)
     X_local: sp.csr_matrix = dataset.X[shard]
     y_local = dataset.y[shard]
@@ -65,7 +103,37 @@ def distributed_sgd_async(
     history = RunHistory()
     steps_per_epoch = max(1, n_local // config.batch_size)
 
+    def resolve_algorithm() -> str:
+        # every rank must launch the *same* algorithm or the collective
+        # deadlocks, but the §5.3 selector keys on the local stream's nnz,
+        # which differs per rank — near the sparse/dense switchover two
+        # ranks can legitimately disagree. Resolve "auto" once per
+        # membership from a rank-independent estimate instead: the
+        # dataset's mean batch nnz (the dataset is replicated, so all
+        # ranks compute the identical value).
+        if config.algorithm != "auto":
+            return config.algorithm
+        est_nnz = max(1, int(dataset.X.nnz / dataset.n_samples * config.batch_size))
+        return choose_algorithm(
+            model.n_features, comm.size, est_nnz, 8, topology=comm.topology
+        )
+
+    algorithm = resolve_algorithm()
+
     pending = None  # in-flight collective handle from the previous step
+    start_epoch = 0
+    #: first epoch at which synchronized aggregation is (re)enabled; a
+    #: shrink mid-epoch pushes it past the current epoch so survivors who
+    #: noticed the failure at different step offsets realign locally
+    resync_epoch = 0
+    if resume:
+        # the grow broadcast pairs with the survivors' send in
+        # _elastic_epoch_step: root is the lowest surviving member
+        members = comm.parent_ranks
+        root = _grow_root(members, joiner=members[comm.rank])
+        start_epoch, w_sync = comm.bcast(None, root=root)
+        resync_epoch = start_epoch
+        w[:] = w_sync
 
     def apply_update(total_stream, contributors: int) -> None:
         model.apply_regularization(w, config.lr)
@@ -77,20 +145,68 @@ def distributed_sgd_async(
             idx = total_stream.indices.astype(np.int64)
             w[idx] -= (config.lr / contributors) * total_stream.values.astype(np.float64)
 
-    def degrade(exc: RankFailedError, doomed_handle) -> None:
-        # a peer died mid-aggregation: remember who, reap the handle that
-        # was launched into the already-aborted world, and fall back to
-        # local-only updates for the rest of the run
-        nonlocal pending
-        history.degraded_rank = exc.rank
+    def recover(exc: RankFailedError, doomed_handle, epoch: int) -> None:
+        # a peer died mid-aggregation: reap the handle that was launched
+        # into the already-aborted world, then either degrade to
+        # local-only updates for the rest of the run or shrink the world
+        # and resume aggregation among the survivors
+        nonlocal pending, comm, resync_epoch, algorithm
         if doomed_handle is not None:
             try:
                 doomed_handle.wait()
             except WorldAbortedError:
                 pass
         pending = None
+        if on_failure != "shrink":
+            history.degraded_rank = exc.rank
+            return
+        comm = comm.shrink()
+        algorithm = resolve_algorithm()
+        # survivors may detect the failure at different step offsets (the
+        # pipeline means one rank can clear an epoch boundary another
+        # fails at), so the resumption epoch must be agreed, not assumed:
+        # everyone proposes "my next epoch" and the max wins. This is the
+        # first collective on the fresh post-shrink world, so it lines up
+        # regardless of where each survivor's loop currently stands.
+        votes = comm.gather_to_root(epoch + 1, root=0)
+        resync_epoch = comm.bcast(max(votes) if votes is not None else None, root=0)
 
-    for epoch in range(config.epochs):
+    def aggregating(epoch: int) -> bool:
+        return history.degraded_rank is None and epoch >= resync_epoch
+
+    def elastic_epoch_step(epoch: int) -> None:
+        # epoch boundary = membership commit point: drain the pipeline
+        # (an in-flight handle on a superseded world would go stale the
+        # moment a join bumps the epoch), commit at most one pending
+        # rejoin, and hand the regrown world the current model
+        nonlocal pending, comm, algorithm
+        if pending is not None:
+            try:
+                apply_update(pending.wait(), comm.size)
+            except RankFailedError as exc:
+                recover(exc, None, epoch)
+            pending = None
+        history.world_sizes.append(comm.size if aggregating(epoch) else 1)
+        if not aggregating(epoch):
+            return
+        try:
+            ctx = ElasticContext(comm)
+            old_members = getattr(comm, "parent_ranks", None)
+            grown = ctx.step()
+            if grown is comm or old_members is None:
+                comm = grown
+                return
+            comm = grown
+            algorithm = resolve_algorithm()
+            members = comm.parent_ranks
+            (joiner,) = set(members) - set(old_members)
+            root = _grow_root(members, joiner)
+            payload = (epoch + 1, w.copy()) if comm.rank == root else None
+            comm.bcast(payload, root=root)
+        except RankFailedError as exc:
+            recover(exc, None, epoch)
+
+    for epoch in range(start_epoch, config.epochs):
         grad_nnz: list[int] = []
         bytes_before = comm_bytes_sent(comm)
         for _ in range(steps_per_epoch):
@@ -99,22 +215,22 @@ def distributed_sgd_async(
             comm.compute(int(X_local[rows].nnz) * 16, "grad")
             grad = model.grad_stream(w, X_local[rows], y_local[rows])
             grad_nnz.append(grad.nnz)
-            if history.degraded_rank is not None:
+            if not aggregating(epoch):
                 apply_update(grad, 1)
                 continue
             # launch this step's reduction; it progresses while the next
             # batch's gradient is being computed
-            handle = i_collective(
-                comm, sparse_allreduce, grad, algorithm=config.algorithm
-            )
+            handle = i_collective(comm, sparse_allreduce, grad, algorithm=algorithm)
             if pending is not None:
                 try:
                     apply_update(pending.wait(), comm.size)
                 except RankFailedError as exc:
-                    degrade(exc, handle)
+                    recover(exc, handle, epoch)
                     apply_update(grad, 1)
                     continue
             pending = handle
+        if on_failure == "shrink":
+            elastic_epoch_step(epoch)
         history.add(
             EpochRecord(
                 epoch=epoch,
@@ -128,6 +244,6 @@ def distributed_sgd_async(
         try:
             apply_update(pending.wait(), comm.size)
         except RankFailedError as exc:
-            degrade(exc, None)
+            recover(exc, None, config.epochs)
     history.params = w
     return history

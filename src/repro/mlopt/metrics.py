@@ -28,11 +28,18 @@ class RunHistory:
     (see :func:`~repro.mlopt.async_sgd.distributed_sgd_async`): it names
     the first failed rank after which this rank continued without
     aggregation. ``None`` means the run stayed fully synchronous.
+
+    ``world_sizes`` is filled by the elastic driver mode
+    (``on_failure="shrink"``): one entry per epoch recording how many
+    ranks aggregated that epoch (1 for an epoch finished on local
+    gradients while the world reformed), so a kill-then-rejoin run reads
+    e.g. ``[4, 1, 3, 4]``. Empty for non-elastic runs.
     """
 
     records: list[EpochRecord] = field(default_factory=list)
     params: np.ndarray | None = None
     degraded_rank: int | None = None
+    world_sizes: list[int] = field(default_factory=list)
 
     def add(self, record: EpochRecord) -> None:
         self.records.append(record)

@@ -126,4 +126,6 @@ def distributed_sgd(
 
 def comm_bytes_sent(comm: Communicator) -> int:
     """Bytes this rank has sent so far (works on any backend's trace)."""
-    return comm.trace.bytes_sent_by(comm.rank)
+    # trace events are attributed to *world* ranks, so read through
+    # world_rank — on a sub/elastic communicator the group rank differs
+    return comm.trace.bytes_sent_by(comm.world_rank)

@@ -29,12 +29,14 @@ from .comm import (
     DeferredRecvHandle,
     Handle,
     RankFailedError,
+    StaleEpochError,
     SubCommunicator,
     TAG_USER_LIMIT,
     WorldAbortedError,
     copy_payload,
     payload_nbytes,
 )
+from .elastic import ElasticContext, ElasticWorld, shrink, thread_rejoin
 from .faults import FaultPlan, FaultyBackend, FaultyComm, RankKilledError
 from .launcher import run_ranks
 from .topology import (
@@ -48,6 +50,7 @@ from .nonblocking import NonBlockingHandle, i_collective
 from .process_backend import ProcessBackend, ProcessComm, ProcessWorld
 from .shmem_backend import SharedRing, ShmemBackend, ShmemComm, ShmemWorld
 from .socket_backend import (
+    ElasticRendezvous,
     RendezvousError,
     RendezvousTimeoutError,
     SocketBackend,
@@ -100,7 +103,13 @@ __all__ = [
     "WorldAbortedError",
     "RankFailedError",
     "CommTimeoutError",
+    "StaleEpochError",
     "AbortState",
+    "ElasticContext",
+    "ElasticWorld",
+    "ElasticRendezvous",
+    "shrink",
+    "thread_rejoin",
     "FaultPlan",
     "FaultyBackend",
     "FaultyComm",

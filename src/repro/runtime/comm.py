@@ -86,6 +86,7 @@ __all__ = [
     "WorldAbortedError",
     "RankFailedError",
     "CommTimeoutError",
+    "StaleEpochError",
     "AbortState",
     "payload_nbytes",
     "copy_payload",
@@ -144,6 +145,38 @@ class RankFailedError(WorldAbortedError):
         return (type(self), (self.rank, self.args[0] if self.args else None))
 
 
+class StaleEpochError(RuntimeError):
+    """Traffic or an operation belongs to a superseded world epoch.
+
+    Every elastic membership change (:func:`~repro.runtime.elastic.shrink`,
+    a rendezvous rejoin) bumps the world epoch. Frames on the wire carry
+    the sender's epoch; receivers drop frames from dead epochs, and
+    operations attempted *through* a superseded elastic world — or a
+    rejoin handshake presenting an old epoch — raise this instead of
+    silently corrupting the post-shrink collectives.
+    """
+
+    def __init__(
+        self,
+        message: "str | None" = None,
+        frame_epoch: "int | None" = None,
+        current_epoch: "int | None" = None,
+    ) -> None:
+        if message is None:
+            message = (
+                f"stale world epoch {frame_epoch} "
+                f"(current epoch is {current_epoch})"
+            )
+        super().__init__(message)
+        self.frame_epoch = frame_epoch
+        self.current_epoch = current_epoch
+
+    def __reduce__(self):
+        # keep the attributes across the process backend's pickle round-trip
+        msg = self.args[0] if self.args else None
+        return (type(self), (msg, self.frame_epoch, self.current_epoch))
+
+
 class CommTimeoutError(TimeoutError):
     """A per-operation timeout (``run_ranks(..., op_timeout=)``) expired.
 
@@ -180,12 +213,13 @@ class AbortState:
     :class:`WorldAbortedError` otherwise.
     """
 
-    __slots__ = ("_event", "_lock", "failed_rank")
+    __slots__ = ("_event", "_lock", "failed_rank", "_failed_ranks")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._lock = threading.Lock()
         self.failed_rank: "int | None" = None
+        self._failed_ranks: set[int] = set()
 
     def is_set(self) -> bool:
         return self._event.is_set()
@@ -197,8 +231,20 @@ class AbortState:
         if failed_rank is not None:
             with self._lock:
                 if self.failed_rank is None:
-                    self.failed_rank = failed_rank
+                    self.failed_rank = int(failed_rank)
+                self._failed_ranks.add(int(failed_rank))
         self._event.set()
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Every rank this state has attributed a failure to.
+
+        ``failed_rank`` keeps the first-writer-wins single culprit for the
+        typed error; the elastic shrink barrier reads the full set so a
+        multi-rank failure is attributed in one pass.
+        """
+        with self._lock:
+            return frozenset(self._failed_ranks)
 
     def error(self) -> WorldAbortedError:
         """A fresh typed exception describing the recorded failure."""
@@ -371,6 +417,13 @@ class Communicator(abc.ABC):
     #: bounded only by the run watchdog). Set by backends from
     #: ``run_ranks(..., op_timeout=)``; proxies delegate to what they wrap.
     op_timeout: "float | None" = None
+
+    #: elastic world epoch stamped on every outgoing wire frame. Backend
+    #: communicators start at 0; :func:`~repro.runtime.elastic.shrink` and
+    #: rendezvous rejoins bump it. Receivers drop frames whose epoch is
+    #: older than their own (counted in ``stale_epoch_rejected`` on the
+    #: backends that have a wire).
+    epoch: int = 0
 
     _collective_counter: int = 0
     _split_counter: int = 0
@@ -654,6 +707,21 @@ class Communicator(abc.ABC):
         return self.subgroup(members)
 
     # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def shrink(self, dead: Any = (), timeout: "float | None" = None):
+        """Membership barrier after a rank failure: agree on the survivors
+        and return the working world of the next epoch.
+
+        Convenience front-end to :func:`repro.runtime.elastic.shrink`;
+        collective over the survivors. See :mod:`repro.runtime.elastic`
+        for the protocol and its caveats.
+        """
+        from .elastic import shrink as _shrink  # local: avoid import cycle
+
+        return _shrink(self, dead=dead, timeout=timeout)
+
+    # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}(rank={self.rank}, size={self.size})"
 
@@ -703,6 +771,11 @@ class SubCommunicator(Communicator):
     @property
     def op_timeout(self) -> "float | None":
         return self.parent.op_timeout
+
+    @property
+    def epoch(self) -> int:
+        # frames sent through a subgroup carry the backend world's epoch
+        return self.parent.epoch
 
     @property
     def parent_ranks(self) -> tuple[int, ...]:

@@ -1,0 +1,498 @@
+"""Elastic worlds: shrink after rank failure, regrow through the rendezvous.
+
+SparCML (§6) targets long data-parallel runs where rank loss is expected,
+and its asynchronous decentralized SGD tolerates stale or partial updates
+by design — the natural consumer of a world that can *shrink* past a dead
+rank and later *regrow* when the rank restarts. PR 6 built the typed
+failure surface (:class:`~repro.runtime.comm.RankFailedError`,
+:class:`~repro.runtime.comm.CommTimeoutError`, deterministic
+:class:`~repro.runtime.faults.FaultPlan` injection) but left the world
+static; this module adds the membership layer on top of it.
+
+Epochs
+------
+Every membership change bumps the backend communicator's *world epoch*.
+The epoch travels in every wire frame header
+(:mod:`~repro.runtime.wire`); receivers drop frames from dead epochs
+(counted in ``comm.stale_epoch_rejected``), and operations attempted
+through a superseded elastic world raise the typed
+:class:`~repro.runtime.comm.StaleEpochError`. Each epoch also owns a
+private tag window (allocated from the same injective window space as
+``comm.split``), so even on the thread backend — which has no wire — the
+post-shrink collectives can never match pre-shrink traffic.
+
+Shrink
+------
+:func:`shrink` (also reachable as ``comm.shrink()``) is collective over
+the survivors: each rank gathers what it knows about the dead (the
+:class:`~repro.runtime.comm.AbortState` attribution), the lowest-ranked
+survivor runs a leader-based membership barrier with bounded per-round
+timeouts (peers that fail *during* the barrier are folded into the dead
+set and the round retried), and everyone returns the same
+:class:`ElasticWorld` — a deterministically renumbered
+:class:`~repro.runtime.comm.SubCommunicator` of the survivors, pinned to
+the new epoch. Works on all four backends because it is built from the
+ordinary transport hooks.
+
+Grow / rejoin
+-------------
+On the socket backend a restarted rank re-registers through the
+persistent elastic rendezvous (``serve-rank --rejoin``); on the thread
+backend a fresh thread queues a join request on the shared world
+(:func:`thread_rejoin`). Either way the join is *committed between
+iterations*: every member calls :meth:`ElasticContext.step`, the leader
+broadcasts the pending join (or ``None``), members connect the new rank
+into the mesh, the epoch bumps, and everyone switches to the regrown
+:class:`ElasticWorld`. State (model parameters etc.) is the consumer's
+to re-broadcast — see :func:`~repro.mlopt.async_sgd.distributed_sgd_async`.
+
+Caveats: the barrier is crash-consistent, not Byzantine — a false-positive
+timeout (an alive but stalled peer) is treated as a death; and on the
+socket backend the rendezvous lives in rank 0's ``serve-rank`` process,
+so rank 0 itself cannot be revived.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .comm import (
+    SPLIT_TAG_BASE,
+    SPLIT_TAG_MAX,
+    SPLIT_TAG_SPAN,
+    AbortState,
+    CommTimeoutError,
+    Communicator,
+    RankFailedError,
+    StaleEpochError,
+    SubCommunicator,
+    WorldAbortedError,
+    _cantor_pair,
+)
+
+__all__ = [
+    "ElasticContext",
+    "ElasticWorld",
+    "epoch_window_id",
+    "shrink",
+    "thread_rejoin",
+]
+
+#: default per-round timeout of the membership barrier (seconds); used when
+#: the backend has no ``op_timeout`` of its own.
+DEFAULT_BARRIER_TIMEOUT = 5.0
+
+#: default budget for wiring a rejoined rank into the mesh (seconds).
+DEFAULT_GROW_TIMEOUT = 20.0
+
+#: barrier tags live at the top of the epoch's tag window, far above any
+#: tag a collective of the new world could allocate.
+_BARRIER_TAG_OFFSET = SPLIT_TAG_SPAN - 4096
+
+
+def epoch_window_id(epoch: int) -> int:
+    """The tag window id owned by world epoch ``epoch`` (>= 1).
+
+    Ordinary splits allocate windows from the (parent window, call slot)
+    tree: backend-level splits take the odd ids, nested splits take even
+    ids through the Cantor pairing with parent window >= 1. Epoch worlds
+    take ``2 * (cantor(0, epoch) + 1)`` — Cantor pairs with first
+    component 0 are *never* produced by splits, so the window is globally
+    injective without depending on the per-rank split counters (which
+    diverge when ranks catch a failure at different points).
+    """
+    if epoch < 1:
+        raise ValueError(f"elastic epochs start at 1, got {epoch}")
+    return 2 * (_cantor_pair(0, int(epoch)) + 1)
+
+
+def _epoch_tag_base(epoch: int) -> int:
+    window_id = epoch_window_id(epoch)
+    abs_base = SPLIT_TAG_BASE + window_id * SPLIT_TAG_SPAN
+    if abs_base + SPLIT_TAG_SPAN > SPLIT_TAG_MAX:
+        raise RuntimeError(f"elastic epoch {epoch} exhausts the tag space")
+    return abs_base
+
+
+def _backend_of(comm: Communicator) -> Communicator:
+    """Unwrap proxies down to the backend communicator that owns the wire."""
+    seen = 0
+    while seen < 32:
+        seen += 1
+        if isinstance(comm, ElasticWorld):
+            comm = comm.parent
+            continue
+        inner = getattr(comm, "inner", None)  # FaultyComm and friends
+        if isinstance(inner, Communicator):
+            comm = inner
+            continue
+        break
+    if isinstance(comm, SubCommunicator):
+        raise ValueError(
+            "elastic operations need a backend communicator or an "
+            "ElasticWorld, not an ordinary split/subgroup"
+        )
+    return comm
+
+
+def _members_of(world: Communicator) -> tuple[int, ...]:
+    """Current membership of ``world`` in backend rank numbering."""
+    if isinstance(world, ElasticWorld):
+        return world.parent_ranks
+    backend = _backend_of(world)
+    return tuple(range(backend.size))
+
+
+class ElasticWorld(SubCommunicator):
+    """The working world of one elastic epoch: survivors renumbered from 0.
+
+    A :class:`~repro.runtime.comm.SubCommunicator` over the backend
+    communicator whose members are the epoch's alive ranks (sorted, so
+    renumbering is deterministic on every rank) and whose tag window is
+    owned by the epoch. Once the backend moves to a newer epoch — another
+    shrink, a committed rejoin — every operation through this world
+    raises :class:`~repro.runtime.comm.StaleEpochError` instead of
+    leaking traffic into the new membership.
+    """
+
+    def __init__(self, backend: Communicator, members, epoch: int) -> None:
+        tag_base = _epoch_tag_base(epoch) - backend._split_space_base
+        super().__init__(backend, tuple(int(m) for m in members), tag_base,
+                         epoch_window_id(epoch))
+        self._epoch = int(epoch)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def _check_epoch(self) -> None:
+        current = self.parent.epoch
+        if current != self._epoch:
+            raise StaleEpochError(
+                f"this world belongs to epoch {self._epoch} but the "
+                f"transport has moved to epoch {current}; re-form it with "
+                "shrink() or ElasticContext.step()",
+                frame_epoch=self._epoch,
+                current_epoch=current,
+            )
+
+    # every traced operation (and every nested proxy) funnels through the
+    # tag mapping hook exactly once per message — the one choke point where
+    # a superseded world can be rejected with the typed error
+    def _map_tag(self, tag: int) -> int:
+        self._check_epoch()
+        return super()._map_tag(tag)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ElasticWorld(epoch={self._epoch}, rank={self.rank}, "
+            f"size={self.size}, parent_ranks={list(self.parent_ranks)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# shrink: the membership barrier
+# ----------------------------------------------------------------------
+def shrink(
+    comm: Communicator,
+    dead: Any = (),
+    timeout: float | None = None,
+) -> ElasticWorld:
+    """Collective membership barrier: agree on the survivors, bump the epoch.
+
+    Call from every surviving rank after catching a
+    :class:`~repro.runtime.comm.RankFailedError` (or with an explicit
+    ``dead`` set). Gathers each survivor's view of the dead (seeded from
+    the abort-state attribution), runs a bounded leader-based agreement
+    round — survivors that fail *during* the barrier are folded in and
+    the round retried — and returns the new :class:`ElasticWorld` of the
+    agreed survivors on every rank, bit-identically renumbered.
+
+    ``timeout`` bounds each barrier operation (default: the backend's
+    ``op_timeout``, else :data:`DEFAULT_BARRIER_TIMEOUT`).
+    """
+    backend = _backend_of(comm)
+    members = list(_members_of(comm))
+    known_dead = set(int(r) for r in dead)
+    state = backend._abort_state()
+    if state is not None:
+        known_dead |= set(state.failed_ranks)
+    known_dead |= set(backend.dead_ranks) & set(members)
+    me = backend.rank
+    if me in known_dead:
+        raise ValueError(f"rank {me} cannot shrink a world it is dead in")
+
+    new_epoch = backend.epoch + 1
+    # reset *before* the barrier: barrier frames are stamped with the new
+    # epoch (receivers still on the old epoch deliver newer frames), and a
+    # late EOF from an already-known-dead peer can no longer re-abort us
+    backend._elastic_reset(known_dead, new_epoch)
+
+    alive = [m for m in members if m not in known_dead]
+    barrier_timeout = timeout
+    if barrier_timeout is None:
+        barrier_timeout = backend.op_timeout or DEFAULT_BARRIER_TIMEOUT
+    saved_timeout = backend.op_timeout
+    backend.op_timeout = barrier_timeout
+    try:
+        alive, agreed_dead = _membership_barrier(
+            backend, alive, set(known_dead), new_epoch
+        )
+    finally:
+        backend.op_timeout = saved_timeout
+    backend._elastic_note_dead(agreed_dead)
+    world = ElasticWorld(backend, alive, new_epoch)
+    backend._elastic_world = world
+    return world
+
+
+def _note_dead(backend: Communicator, dead: set, culprits) -> None:
+    newly = {int(r) for r in culprits if r is not None}
+    dead.update(newly)
+    backend._elastic_note_dead(dead)
+
+
+def _membership_barrier(
+    backend: Communicator, alive: list[int], dead: set, epoch: int
+) -> tuple[list[int], set]:
+    """Leader-based agreement on the survivor set (crash-consistent).
+
+    Each round ``r`` uses a private pair of tags in the new epoch's
+    window: non-leaders send their dead-set proposal to the leader (the
+    lowest alive rank), the leader unions them and answers either
+    ``("commit", dead)`` — membership settled — or ``("retry", dead)``
+    after folding in peers that failed mid-round. A non-leader whose
+    leader stops answering declares *it* dead and retries under the next
+    leader. Rounds are bounded by the member count: each retry removes at
+    least one rank, so a non-converging partition surfaces as
+    :class:`~repro.runtime.comm.WorldAbortedError` instead of a hang.
+    """
+    me = backend.rank
+    base = _epoch_tag_base(epoch) + _BARRIER_TAG_OFFSET
+    max_rounds = len(alive) + 2
+    for round_no in range(max_rounds):
+        ptag = base + 2 * round_no  # proposals (members -> leader)
+        vtag = ptag + 1             # verdict   (leader -> members)
+        if me not in alive:
+            raise WorldAbortedError(
+                "this rank was declared dead by the membership barrier "
+                "(a peer gave up waiting on it); it must rejoin, not shrink"
+            )
+        if alive == [me]:
+            return alive, dead
+        leader = alive[0]
+        if me == leader:
+            gathered_ok = True
+            for m in alive[1:]:
+                try:
+                    proposal = backend.recv(m, tag=ptag)
+                except RankFailedError as exc:
+                    culprit = exc.rank if exc.rank in alive else m
+                    _note_dead(backend, dead, {culprit})
+                    gathered_ok = False
+                    break
+                except CommTimeoutError:
+                    _note_dead(backend, dead, {m})
+                    gathered_ok = False
+                    break
+                dead.update(int(r) for r in proposal)
+            if gathered_ok and not (dead & set(alive)):
+                verdict = ("commit", sorted(dead))
+            else:
+                _note_dead(backend, dead, ())
+                alive = [r for r in alive if r not in dead]
+                verdict = ("retry", sorted(dead))
+            lost = set()
+            for m in alive[1:]:
+                try:
+                    backend.send(verdict, m, tag=vtag)
+                except (RankFailedError, CommTimeoutError):
+                    lost.add(m)
+            if lost:
+                _note_dead(backend, dead, lost)
+                alive = [r for r in alive if r not in dead]
+                continue
+            if verdict[0] == "commit":
+                return alive, dead
+            continue
+        # non-leader
+        try:
+            backend.send(sorted(dead), leader, tag=ptag)
+            kind, agreed = backend.recv(leader, tag=vtag)
+        except RankFailedError as exc:
+            culprit = exc.rank if exc.rank in alive else leader
+            _note_dead(backend, dead, {culprit})
+            alive = [r for r in alive if r not in dead]
+            continue
+        except CommTimeoutError:
+            _note_dead(backend, dead, {leader})
+            alive = [r for r in alive if r not in dead]
+            continue
+        dead.update(int(r) for r in agreed)
+        _note_dead(backend, dead, ())
+        alive = [r for r in alive if r not in dead]
+        if kind == "commit":
+            if me not in alive:
+                raise WorldAbortedError(
+                    "this rank was declared dead by the membership barrier "
+                    "(a peer gave up waiting on it); it must rejoin, not shrink"
+                )
+            return alive, dead
+    raise WorldAbortedError(
+        f"membership barrier did not converge after {max_rounds} rounds "
+        f"(alive view: {alive}, dead view: {sorted(dead)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# grow: rejoin requests committed between iterations
+# ----------------------------------------------------------------------
+def thread_rejoin(world, rank: int, timeout: float = 30.0) -> ElasticWorld:
+    """Rejoin a dead rank into a thread-backend world (rendezvous analog).
+
+    Called from a *fresh thread* standing in for the restarted rank.
+    Queues a join request on the shared
+    :class:`~repro.runtime.thread_backend.ThreadWorld`; once a member's
+    :meth:`ElasticContext.step` commits it, returns this rank's
+    :class:`ElasticWorld` for the new epoch. The caller is responsible
+    for re-synchronizing consumer state (e.g. a parameter broadcast).
+    """
+    request = {"rank": int(rank), "event": threading.Event()}
+    with world._elastic_lock:
+        if int(rank) not in world.dead_ranks:
+            raise ValueError(f"rank {rank} is not dead in this world")
+        world._pending_joins.append(request)
+    if not request["event"].wait(timeout):
+        with world._elastic_lock:
+            if request in world._pending_joins:
+                world._pending_joins.remove(request)
+        raise TimeoutError(
+            f"rejoin of rank {rank} was not committed within {timeout}s"
+        )
+    comm = world.comm(int(rank))
+    with world._elastic_lock:
+        # the original failure left this rank's abort state set (it names
+        # this very rank); the revived thread starts from a clean flag
+        world._rank_states[int(rank)] = AbortState()
+    comm.epoch = int(request["epoch"])
+    return ElasticWorld(comm, request["members"], request["epoch"])
+
+
+class ElasticContext:
+    """Between-iteration driver of one rank's elastic membership.
+
+    Wraps the current working world (the backend communicator at epoch 0,
+    or an :class:`ElasticWorld` after a shrink/rejoin) and exposes:
+
+    * :meth:`shrink` — catch-and-reform after a failure;
+    * :meth:`step` — collective join-commit point: the leader (world rank
+      0) polls the pending-join queue (socket: the elastic rendezvous;
+      thread: the shared world), broadcasts the join or ``None``, and on
+      a join every member wires the rank back into the mesh and switches
+      to the regrown world.
+
+    Call ``step()`` at iteration boundaries only — it is collective over
+    the current world.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grow_timeout: float = DEFAULT_GROW_TIMEOUT,
+        barrier_timeout: float | None = None,
+    ) -> None:
+        self._backend = _backend_of(comm)
+        existing = getattr(self._backend, "_elastic_world", None)
+        self.world: Communicator = existing if existing is not None else comm
+        self.grow_timeout = float(grow_timeout)
+        self.barrier_timeout = barrier_timeout
+
+    @property
+    def epoch(self) -> int:
+        return self._backend.epoch
+
+    @property
+    def world_sizes_seen(self) -> int:
+        return self.world.size
+
+    def shrink(self, dead: Any = ()) -> Communicator:
+        self.world = shrink(self.world, dead=dead, timeout=self.barrier_timeout)
+        return self.world
+
+    def step(self) -> Communicator:
+        """Commit at most one pending join (collective; call between iterations)."""
+        world = self.world
+        if world.size == 1 and not isinstance(world, ElasticWorld):
+            return world
+        join = self._poll_pending_join() if world.rank == 0 else None
+        join = world.bcast(join, root=0)
+        if join is None:
+            return self.world
+        kind, rank, addr, members, epoch = join
+        if kind == "thread-join":
+            self._commit_thread_join(rank, members, epoch)
+        else:
+            self._commit_socket_join(rank, addr, members, epoch)
+        return self.world
+
+    # -- leader side ----------------------------------------------------
+    def _poll_pending_join(self):
+        backend = self._backend
+        members = _members_of(self.world)
+        thread_world = getattr(backend, "world", None)
+        if thread_world is not None and hasattr(thread_world, "_pending_joins"):
+            with thread_world._elastic_lock:
+                request = next(
+                    (
+                        r
+                        for r in thread_world._pending_joins
+                        if r["rank"] in thread_world.dead_ranks
+                    ),
+                    None,
+                )
+                if request is not None:
+                    thread_world._pending_joins.remove(request)
+            if request is None:
+                return None
+            epoch = backend.epoch + 1
+            new_members = sorted(set(members) | {request["rank"]})
+            self._committing_request = request
+            return ("thread-join", request["rank"], None, new_members, epoch)
+        server = getattr(backend, "_elastic_rendezvous", None)
+        if server is None:
+            return None
+        item = server.poll(eligible=backend.dead_ranks)
+        if item is None:
+            return None
+        rank, addr, conn = item
+        epoch = backend.epoch + 1
+        new_members = sorted(set(members) | {rank})
+        hosts = (
+            tuple(backend.topology.hosts) if backend.topology is not None else None
+        )
+        server.reply(conn, (epoch, new_members, hosts))
+        return ("socket-join", rank, tuple(addr), new_members, epoch)
+
+    # -- commit on every member -----------------------------------------
+    def _commit_thread_join(self, rank: int, members, epoch: int) -> None:
+        backend = self._backend
+        backend._elastic_regrow(rank, epoch)
+        self.world = ElasticWorld(backend, members, epoch)
+        backend._elastic_world = self.world
+        request = getattr(self, "_committing_request", None)
+        if request is not None and request["rank"] == rank:
+            # leader releases the waiting rejoiner once the commit is real
+            request["members"] = tuple(members)
+            request["epoch"] = int(epoch)
+            request["event"].set()
+            self._committing_request = None
+
+    def _commit_socket_join(self, rank: int, addr, members, epoch: int) -> None:
+        from .socket_backend import elastic_dial_join
+
+        backend = self._backend
+        elastic_dial_join(backend, rank, tuple(addr), epoch, self.grow_timeout)
+        backend._elastic_regrow(rank, epoch)
+        self.world = ElasticWorld(backend, members, epoch)
+        backend._elastic_world = self.world

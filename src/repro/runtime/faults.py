@@ -74,6 +74,14 @@ class RankKilledError(RuntimeError):
         self.op_index = op_index
 
 
+def _parse_message_key(text: str) -> tuple[int, int, int, int]:
+    """Parse a pinned-message key ``SRC:DST:TAG:SEQ`` from a spec clause."""
+    fields = text.split(":")
+    if len(fields) != 4:
+        raise ValueError(f"expected SRC:DST:TAG:SEQ, got {text!r}")
+    return tuple(int(f) for f in fields)  # type: ignore[return-value]
+
+
 def _key_uniform(seed: int, src: int, dst: int, tag: int, seq: int) -> float:
     """Deterministic uniform in [0, 1) for one message key.
 
@@ -104,6 +112,8 @@ class FaultPlan:
     delay_s: float = 0.002
     kill_rank: int | None = None
     kill_after_ops: int = 1
+    revive_rank: int | None = None
+    revive_after_ops: int = 1
     drops: frozenset = frozenset()
     delays: Mapping[tuple, float] = field(default_factory=dict)
 
@@ -118,6 +128,19 @@ class FaultPlan:
             raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
         if self.kill_after_ops < 1:
             raise ValueError(f"kill_after_ops must be >= 1, got {self.kill_after_ops}")
+        if self.revive_after_ops < 1:
+            raise ValueError(f"revive_after_ops must be >= 1, got {self.revive_after_ops}")
+        if self.revive_rank is not None:
+            if self.revive_rank != self.kill_rank:
+                raise ValueError(
+                    f"revive_rank must name the killed rank "
+                    f"({self.kill_rank}), got {self.revive_rank}"
+                )
+            if self.revive_after_ops <= self.kill_after_ops:
+                raise ValueError(
+                    "revive_after_ops must come after kill_after_ops "
+                    f"({self.revive_after_ops} <= {self.kill_after_ops})"
+                )
 
     # ------------------------------------------------------------------
     # decisions (pure, deterministic)
@@ -141,6 +164,17 @@ class FaultPlan:
         """Should ``rank`` die at its ``op_index``-th (1-based) transport op?"""
         return rank == self.kill_rank and op_index >= self.kill_after_ops
 
+    def revives(self, op_index: int) -> bool:
+        """Should the killed rank rejoin once survivors pass ``op_index`` ops?
+
+        Consumed by elastic harnesses (not by :class:`FaultyComm` itself):
+        the kill is a transport-level event, but the revive is a membership
+        decision, so the driver — e.g. the quickstart's elastic path —
+        checks this against a survivor's op count and relaunches the rank
+        through the rendezvous when it fires.
+        """
+        return self.revive_rank is not None and op_index >= self.revive_after_ops
+
     # ------------------------------------------------------------------
     # CLI spec
     # ------------------------------------------------------------------
@@ -150,14 +184,22 @@ class FaultPlan:
 
         Comma-separated ``key=value`` clauses::
 
-            seed=7,drop=0.02,delay=0.1/0.005,kill=2@40
+            seed=7,drop=0.02,delay=0.1/0.005,kill=2@40,revive=2@80
 
         ``drop=R`` sets the drop rate; ``delay=R`` or ``delay=R/SECONDS``
         the delay rate (and per-message delay); ``kill=RANK`` or
         ``kill=RANK@OPS`` the rank to kill (after OPS transport ops,
-        default 1).
+        default 1); ``revive=RANK@OPS`` marks the killed rank for rejoin
+        once a survivor passes OPS ops. Individual messages are pinned
+        with repeatable ``pindrop=SRC:DST:TAG:SEQ`` and
+        ``pindelay=SRC:DST:TAG:SEQ/SECONDS`` clauses.
+
+        The spec grammar is the inverse of :meth:`describe`:
+        ``FaultPlan.from_spec(plan.describe()) == plan`` for every plan.
         """
         kwargs: dict[str, Any] = {}
+        pinned_drops: set[tuple] = set()
+        pinned_delays: dict[tuple, float] = {}
         for clause in spec.split(","):
             clause = clause.strip()
             if not clause:
@@ -180,25 +222,50 @@ class FaultPlan:
                     kwargs["kill_rank"] = int(rank)
                     if at:
                         kwargs["kill_after_ops"] = int(ops)
+                elif key == "revive":
+                    rank, at, ops = value.partition("@")
+                    kwargs["revive_rank"] = int(rank)
+                    if at:
+                        kwargs["revive_after_ops"] = int(ops)
+                elif key == "pindrop":
+                    pinned_drops.add(_parse_message_key(value))
+                elif key == "pindelay":
+                    msg, slash, seconds = value.partition("/")
+                    if not slash:
+                        raise ValueError("expected SRC:DST:TAG:SEQ/SECONDS")
+                    pinned_delays[_parse_message_key(msg)] = float(seconds)
                 else:
                     raise ValueError(f"unknown fault-plan key {key!r}")
             except ValueError as exc:
                 raise ValueError(f"bad fault-plan clause {clause!r}: {exc}") from None
+        if pinned_drops:
+            kwargs["drops"] = frozenset(pinned_drops)
+        if pinned_delays:
+            kwargs["delays"] = pinned_delays
         return cls(**kwargs)
 
     def describe(self) -> str:
+        """The plan as a spec string that :meth:`from_spec` parses back.
+
+        Emitting the bare clause grammar (rather than prose) makes the
+        description copy-pastable into ``--fault-plan`` and round-trippable:
+        ``FaultPlan.from_spec(plan.describe()) == plan``.
+        """
         parts = [f"seed={self.seed}"]
         if self.drop_rate:
             parts.append(f"drop={self.drop_rate}")
-        if self.delay_rate:
+        if self.delay_rate or self.delay_s != 0.002:
             parts.append(f"delay={self.delay_rate}/{self.delay_s}")
         if self.kill_rank is not None:
             parts.append(f"kill={self.kill_rank}@{self.kill_after_ops}")
-        if self.drops:
-            parts.append(f"{len(self.drops)} pinned drops")
-        if self.delays:
-            parts.append(f"{len(self.delays)} pinned delays")
-        return "FaultPlan(" + ", ".join(parts) + ")"
+        if self.revive_rank is not None:
+            parts.append(f"revive={self.revive_rank}@{self.revive_after_ops}")
+        for key in sorted(self.drops):
+            parts.append("pindrop=" + ":".join(str(int(v)) for v in key))
+        for key in sorted(self.delays):
+            joined = ":".join(str(int(v)) for v in key)
+            parts.append(f"pindelay={joined}/{float(self.delays[key])}")
+        return ",".join(parts)
 
 
 class FaultyComm(Communicator):

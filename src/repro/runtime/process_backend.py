@@ -60,8 +60,10 @@ __all__ = ["MeshComm", "ProcessBackend", "ProcessComm", "ProcessWorld", "PumpedC
 _START_METHOD = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
 
 #: after the first failure report, how long to keep collecting results from
-#: the other ranks before terminating them (seconds).
-_ERROR_GRACE_S = 1.0
+#: the other ranks before terminating them (seconds). Generous enough for
+#: survivors of a killed rank to run an elastic shrink barrier and finish
+#: real post-shrink work before the parent reaps them.
+_ERROR_GRACE_S = 5.0
 
 #: frame tag of the graceful-shutdown marker a finishing rank sends on every
 #: outbound pipe. Receivers treat EOF *without* a preceding FIN as peer
@@ -90,13 +92,50 @@ class MeshComm(Communicator):
         self._collective_counter = 0
         self._mailboxes = MailboxRegistry()
         self.aborted = AbortState()
+        #: elastic world version stamped on every outgoing frame; bumped by
+        #: :func:`~repro.runtime.elastic.shrink` via :meth:`_elastic_reset`.
+        self.epoch = 0
+        #: count of inbound frames dropped because their epoch was stale.
+        self.stale_epoch_rejected = 0
+        self._stale_lock = threading.Lock()
+        #: ranks a membership change already declared dead: late transport
+        #: failures from them (pump EOF, broken sends) must not re-abort
+        #: the new, smaller world.
+        self.dead_ranks: set[int] = set()
 
     def _mailbox(self, src: int, tag: int) -> Mailbox:
         return self._mailboxes.get((src, tag))
 
     def _abort(self, failed_rank: int | None = None) -> None:
+        if failed_rank is not None and failed_rank in self.dead_ranks:
+            return  # already accounted for by a shrink; the world lives on
         self.aborted.set(failed_rank)
         self._mailboxes.wake_all()
+
+    def _count_stale_frame(self) -> None:
+        with self._stale_lock:
+            self.stale_epoch_rejected += 1
+
+    def _elastic_reset(self, dead_ranks, epoch: int) -> None:
+        """Commit a membership change: record the dead, arm a fresh abort
+        flag and move this rank's wire traffic to ``epoch``."""
+        self.dead_ranks.update(int(r) for r in dead_ranks)
+        self.aborted = AbortState()
+        self.epoch = int(epoch)
+
+    def _elastic_note_dead(self, ranks) -> None:
+        """Attribute mid-barrier failures and clear the abort flag once
+        every recorded culprit is accounted for (unattributed aborts are
+        left standing — they are not a membership event)."""
+        self.dead_ranks.update(int(r) for r in ranks)
+        state = self.aborted
+        if state.is_set() and state.failed_ranks and state.failed_ranks <= self.dead_ranks:
+            self.aborted = AbortState()
+
+    def _elastic_regrow(self, rank: int, epoch: int) -> None:
+        """Commit a rejoin: the rank is alive again in the new epoch."""
+        self.dead_ranks.discard(int(rank))
+        self.epoch = int(epoch)
 
     # ------------------------------------------------------------------
     # transport hooks (send stays subclass-specific)
@@ -198,20 +237,27 @@ class ProcessComm(PumpedComm):
             try:
                 # copy=True (default): the scratch buffer is reused, so the
                 # decoded arrays must own their memory
-                tag, seq, nbytes, payload = decode_message(frame)
+                tag, seq, nbytes, epoch, payload = decode_message(frame)
             except Exception:
                 # undecodable frame (e.g. a payload whose pickle references a
                 # class this process cannot import): fail fast instead of
                 # silently stopping the progress engine and hanging the run
                 self._abort()
                 return
+            if epoch < self.epoch:
+                # a frame from a dead world epoch (in flight across a shrink
+                # or sent by a peer that has not committed the shrink yet):
+                # dropping it here is what keeps post-shrink collectives from
+                # matching pre-shrink traffic
+                self._count_stale_frame()
+                continue
             if tag == _FIN_TAG:
                 return  # peer finished cleanly; its channels are drained
             self._mailbox(src, tag).put(payload, nbytes, seq)
 
     def shutdown(self) -> None:
         """Graceful wind-down: tell every peer this rank is done sending."""
-        fin = encode_message(_FIN_TAG, -1, 0, None)
+        fin = encode_message(_FIN_TAG, -1, 0, None, self.epoch)
         for dest, conn in enumerate(self._out_conns):
             if conn is None:
                 continue
@@ -222,7 +268,7 @@ class ProcessComm(PumpedComm):
                 pass
 
     def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
-        blob = encode_message(tag, seq, nbytes, obj)
+        blob = encode_message(tag, seq, nbytes, obj, self.epoch)
         conn = self._out_conns[dest]
         lock = self._out_locks[dest]
         try:

@@ -484,10 +484,15 @@ class ShmemComm(MeshComm):
             try:
                 # the single copy of the receive path: shared segment ->
                 # the decoded arrays the collective will own
-                tag, seq, nbytes, payload = decode_message(view)
+                tag, seq, nbytes, epoch, payload = decode_message(view)
             except Exception:
                 # undecodable frame: fail fast instead of silently wedging
                 self._abort()
+                return
+            if epoch < self.epoch:
+                # in-flight frame from a dead world epoch: drop it so the
+                # post-shrink collectives never match pre-shrink traffic
+                self._count_stale_frame()
                 return
             if tag == _FIN_TAG:
                 self._fin[src] = True  # peer finished; its channel is drained
@@ -600,7 +605,7 @@ class ShmemComm(MeshComm):
         return hook
 
     def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
-        total, parts = encode_frame_parts(tag, seq, nbytes, obj)
+        total, parts = encode_frame_parts(tag, seq, nbytes, obj, self.epoch)
         ring = self._out_rings[dest]
         hook = (
             self._send_progress_hook
@@ -661,7 +666,7 @@ class ShmemComm(MeshComm):
 
     def shutdown(self) -> None:
         """Graceful wind-down: tell every peer this rank is done sending."""
-        total, parts = encode_frame_parts(_FIN_TAG, -1, 0, None)
+        total, parts = encode_frame_parts(_FIN_TAG, -1, 0, None, self.epoch)
         for dest, ring in enumerate(self._out_rings):
             if ring is None:
                 continue

@@ -62,7 +62,7 @@ from typing import Any, Callable
 import numpy as np
 
 from .backend import ParallelResult, register_backend
-from .comm import CommTimeoutError, RankFailedError, WorldAbortedError
+from .comm import CommTimeoutError, RankFailedError, StaleEpochError, WorldAbortedError
 from .process_backend import (
     _FIN_TAG,
     _START_METHOD,
@@ -77,6 +77,7 @@ from .trace import Trace
 from .wire import decode_message, encode_frame_parts
 
 __all__ = [
+    "ElasticRendezvous",
     "RendezvousError",
     "RendezvousTimeoutError",
     "SocketBackend",
@@ -97,6 +98,14 @@ _MAX_FRAME = 1 << 40
 _HELLO = struct.Struct("<4sI")
 _MAGIC = b"SPCM"
 
+#: elastic rejoin handshake, sent by a *member* dialing a rejoined rank's
+#: listener: magic + member rank + channel direction + commit epoch.
+#: Members close their mesh listeners after assembly, so the joiner cannot
+#: dial them — instead each member opens both directed channels itself
+#: (direction 0 carries member->joiner traffic, 1 carries joiner->member).
+_EHELLO = struct.Struct("<4sIIq")
+_EMAGIC = b"SPCE"
+
 #: default wall-clock budget for rendezvous + mesh build (seconds).
 DEFAULT_RENDEZVOUS_TIMEOUT = 60.0
 
@@ -104,8 +113,12 @@ DEFAULT_RENDEZVOUS_TIMEOUT = 60.0
 #: reporting its result, so peers' late buffered sends complete (seconds).
 _LINGER_S = 30.0
 
-#: connect-retry tick while a peer's listener is not up yet (seconds).
-_RETRY_S = 0.05
+#: connect-retry backoff while a peer's listener is not up yet (seconds):
+#: start fast (peers usually appear within milliseconds on one host), back
+#: off exponentially to the cap so a rank started long before rank 0 binds
+#: the rendezvous waits out the whole timeout budget without busy-dialing.
+_RETRY_MIN_S = 0.05
+_RETRY_MAX_S = 1.0
 
 #: per-connection cap on the tiny registration/hello reads. Without it a
 #: stray connection that sends nothing would hold the (serial) accept
@@ -171,7 +184,15 @@ def _bind_listener(host: str, port: int, nranks: int) -> socket.socket:
 
 
 def _connect_retry(addr: tuple[str, int], deadline: float, what: str) -> socket.socket:
-    """Connect to ``addr``, retrying until ``deadline`` (peer may be late)."""
+    """Connect to ``addr``, retrying with bounded exponential backoff.
+
+    The peer may be late — e.g. every non-zero rank of a ``serve-rank``
+    world started before rank 0 binds the rendezvous address. Retries
+    continue until ``deadline`` (the caller's rendezvous timeout budget),
+    with the sleep doubling from :data:`_RETRY_MIN_S` up to
+    :data:`_RETRY_MAX_S` so long waits do not busy-dial the network.
+    """
+    backoff = _RETRY_MIN_S
     while True:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
@@ -181,12 +202,14 @@ def _connect_retry(addr: tuple[str, int], deadline: float, what: str) -> socket.
             return sock
         except OSError as exc:
             sock.close()
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise RendezvousTimeoutError(
                     f"could not reach {what} at {addr[0]}:{addr[1]} before the "
                     "rendezvous timeout; is it running and reachable?"
                 ) from exc
-            time.sleep(_RETRY_S)
+            time.sleep(min(backoff, max(0.0, deadline - now)))
+            backoff = min(backoff * 2.0, _RETRY_MAX_S)
 
 
 # ----------------------------------------------------------------------
@@ -394,12 +417,17 @@ class SocketComm(PumpedComm):
             try:
                 # copy=True (default): the scratch buffer is reused, so the
                 # decoded arrays must own their memory
-                tag, seq, nbytes, payload = decode_message(frame)
+                tag, seq, nbytes, epoch, payload = decode_message(frame)
             except Exception:
                 # undecodable frame: fail fast instead of silently stopping
                 # the progress engine and hanging the run
                 self._abort()
                 return
+            if epoch < self.epoch:
+                # frame from a dead world epoch (in flight across a shrink):
+                # drop it so post-shrink collectives never see old traffic
+                self._count_stale_frame()
+                continue
             if tag == _FIN_TAG:
                 return  # peer finished cleanly; its channel is drained
             self._mailbox(src, tag).put(payload, nbytes, seq)
@@ -408,14 +436,14 @@ class SocketComm(PumpedComm):
     # outbound
     # ------------------------------------------------------------------
     @staticmethod
-    def _frame_blob(tag: int, seq: int, nbytes: int, obj: Any) -> bytearray:
+    def _frame_blob(tag: int, seq: int, nbytes: int, obj: Any, epoch: int = 0) -> bytearray:
         """Length prefix + frame, gathered into one send buffer.
 
         Like :func:`~repro.runtime.wire.encode_message` this copies each
         payload byte exactly once, and one ``sendall`` per message keeps
         the frame contiguous on the stream without per-part syscalls.
         """
-        total, parts = encode_frame_parts(tag, seq, nbytes, obj)
+        total, parts = encode_frame_parts(tag, seq, nbytes, obj, epoch)
         out = bytearray(_LEN.size + total)
         _LEN.pack_into(out, 0, total)
         pos = _LEN.size
@@ -426,7 +454,7 @@ class SocketComm(PumpedComm):
         return out
 
     def _transport_send(self, obj: Any, nbytes: int, seq: int, dest: int, tag: int) -> None:
-        blob = self._frame_blob(tag, seq, nbytes, obj)
+        blob = self._frame_blob(tag, seq, nbytes, obj, self.epoch)
         sock = self._out_socks[dest]
         lock = self._out_locks[dest]
         try:
@@ -454,7 +482,7 @@ class SocketComm(PumpedComm):
 
     def shutdown(self) -> None:
         """Graceful wind-down: tell every peer this rank is done sending."""
-        fin = self._frame_blob(_FIN_TAG, -1, 0, None)
+        fin = self._frame_blob(_FIN_TAG, -1, 0, None, self.epoch)
         for dest, sock in enumerate(self._out_socks):
             if sock is None:
                 continue
@@ -484,6 +512,27 @@ class SocketComm(PumpedComm):
                     sock.close()
                 except OSError:  # pragma: no cover - already closed
                     pass
+
+    def _install_peer(
+        self, peer: int, out_sock: socket.socket, in_sock: socket.socket
+    ) -> None:
+        """Wire a rejoined peer back into the mesh (elastic grow commit).
+
+        Replaces the dead connections at the slot — their pumps already
+        exited on EOF — and starts a fresh pump on the new inbound
+        channel. Called by :meth:`~repro.runtime.elastic.ElasticContext.step`
+        through :func:`elastic_dial_join`.
+        """
+        for sock in (self._out_socks[peer], self._in_socks[peer]):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        self._out_socks[peer] = out_sock
+        self._out_locks[peer] = threading.Lock()
+        self._in_socks[peer] = in_sock
+        self._start_pump(peer, in_sock)
 
 
 def _join_world(
@@ -515,6 +564,287 @@ def _join_world(
     comm.topology = (
         topology if topology is not None else Topology(tuple(h for h, _p in addrs))
     )
+    return comm
+
+
+# ----------------------------------------------------------------------
+# elastic rejoin: a restarted rank re-registers into the next epoch
+# ----------------------------------------------------------------------
+class ElasticRendezvous:
+    """Persistent rendezvous of an elastic world (hosted by rank 0).
+
+    Phase one is the ordinary address exchange of :func:`_serve_rendezvous`;
+    afterwards the listener stays open and a restarted rank can re-register
+    with a ``("rejoin", rank, nranks, host, port)`` control frame. Rejoin
+    requests are queued until the elastic leader commits one between
+    iterations (:meth:`~repro.runtime.elastic.ElasticContext.step`) and
+    replies with the new ``(epoch, members, hosts)``. Runs in its own
+    daemon thread; :meth:`poll`/:meth:`reply` are called from the leader's
+    rank program.
+    """
+
+    def __init__(self, listener: socket.socket, nranks: int, timeout: float) -> None:
+        self._listener = listener
+        self._nranks = nranks
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._pending: list[tuple[int, tuple[str, int], socket.socket]] = []
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._serve, name="elastic-rendezvous", daemon=True
+        )
+        self._thread.start()
+
+    # -- server thread --------------------------------------------------
+    def _serve(self) -> None:
+        nranks = self._nranks
+        deadline = time.monotonic() + self._timeout
+        conns: dict[int, socket.socket] = {}
+        addrs: dict[int, tuple[str, int]] = {}
+        listener = self._listener
+        listener.settimeout(0.2)
+        # phase 1: initial world assembly (protocol of _serve_rendezvous)
+        while len(conns) < nranks:
+            if time.monotonic() > deadline or self._closed:
+                for conn in conns.values():
+                    conn.close()
+                return
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed under us
+            try:
+                conn.settimeout(min(_HANDSHAKE_S, max(0.1, deadline - time.monotonic())))
+                reg = pickle.loads(bytes(_recv_blob(conn)))
+                if self._queue_if_rejoin(reg, conn):
+                    continue  # a restarted rank beat the initial assembly
+                rank, world, host, port = reg
+                if world != nranks or not 0 <= rank < nranks or rank in conns:
+                    raise ValueError(f"bad registration: rank {rank} of {world}")
+                conn.settimeout(max(0.1, deadline - time.monotonic()))
+            except Exception:
+                conn.close()  # stray/misconfigured client; keep serving
+                continue
+            conns[rank] = conn
+            addrs[rank] = (host, port)
+        reply = pickle.dumps([addrs[r] for r in range(nranks)])
+        for conn in conns.values():
+            try:
+                _send_blob(conn, reply)
+            except OSError:
+                pass  # its rank will time out and report the failure
+            conn.close()
+        # phase 2: accept rejoin registrations until the world winds down
+        while not self._closed:
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            try:
+                conn.settimeout(_HANDSHAKE_S)
+                reg = pickle.loads(bytes(_recv_blob(conn)))
+                if not self._queue_if_rejoin(reg, conn):
+                    raise ValueError("not a rejoin registration")
+            except Exception:
+                conn.close()
+                continue
+
+    def _queue_if_rejoin(self, reg: Any, conn: socket.socket) -> bool:
+        if not (isinstance(reg, tuple) and len(reg) == 5 and reg[0] == "rejoin"):
+            return False
+        _, rank, world, host, port = reg
+        if world != self._nranks or not 0 <= int(rank) < self._nranks:
+            raise ValueError(f"bad rejoin registration: rank {rank} of {world}")
+        conn.settimeout(None)
+        with self._lock:
+            self._pending.append((int(rank), (host, int(port)), conn))
+        return True
+
+    # -- leader-side API -------------------------------------------------
+    def poll(self, eligible: Any) -> "tuple[int, tuple[str, int], socket.socket] | None":
+        """Pop the first queued rejoin whose rank is in ``eligible`` (the
+        world's dead set); ``None`` if nothing is committable yet."""
+        with self._lock:
+            for i, item in enumerate(self._pending):
+                if item[0] in eligible:
+                    return self._pending.pop(i)
+        return None
+
+    def reply(self, conn: socket.socket, payload: Any) -> None:
+        """Answer a polled rejoiner (its new epoch/membership) and detach."""
+        try:
+            _send_blob(conn, pickle.dumps(payload))
+        except OSError:
+            pass  # the joiner gave up; its next attempt re-registers
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._thread.join(timeout=1.0)
+        with self._lock:
+            for _, _, conn in self._pending:
+                conn.close()
+            self._pending.clear()
+
+
+def elastic_dial_join(
+    comm: SocketComm, joiner: int, addr: tuple[str, int], epoch: int, timeout: float
+) -> None:
+    """Member side of a grow commit: open both directed channels to ``joiner``.
+
+    The hello names this member, the channel direction and the commit
+    epoch, so the joiner can reject a stale or foreign dial with a typed
+    error instead of wiring a dead world into its mesh.
+    """
+    deadline = time.monotonic() + timeout
+    out_sock = _connect_retry(tuple(addr), deadline, f"rejoining rank {joiner}")
+    in_sock: socket.socket | None = None
+    try:
+        out_sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        out_sock.sendall(_EHELLO.pack(_EMAGIC, comm.rank, 0, epoch))
+        in_sock = _connect_retry(tuple(addr), deadline, f"rejoining rank {joiner}")
+        in_sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        in_sock.sendall(_EHELLO.pack(_EMAGIC, comm.rank, 1, epoch))
+    except BaseException:
+        out_sock.close()
+        if in_sock is not None:
+            in_sock.close()
+        raise
+    comm._install_peer(joiner, out_sock, in_sock)
+
+
+def _accept_rejoin_mesh(
+    rank: int,
+    nranks: int,
+    members: Any,
+    epoch: int,
+    listener: socket.socket,
+    deadline: float,
+) -> tuple[list[socket.socket | None], list[socket.socket | None]]:
+    """Joiner side: accept both directed channels from every member."""
+    out_socks: list[socket.socket | None] = [None] * nranks
+    in_socks: list[socket.socket | None] = [None] * nranks
+    members_set = {int(m) for m in members}
+    want = 2 * (len(members_set) - 1)
+    got = 0
+    listener.settimeout(0.2)
+    hello = bytearray(_EHELLO.size)
+    try:
+        while got < want:
+            if time.monotonic() > deadline:
+                raise RendezvousTimeoutError(
+                    f"rank {rank}: only {got} of {want} rejoin channels "
+                    "connected before the timeout"
+                )
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            conn.settimeout(min(_HANDSHAKE_S, max(0.1, deadline - time.monotonic())))
+            try:
+                _recv_exact(conn, memoryview(hello))
+                magic, src, direction, hello_epoch = _EHELLO.unpack(hello)
+            except Exception:
+                conn.close()
+                continue  # stray connection; the real member will retry
+            if (
+                magic != _EMAGIC
+                or src not in members_set
+                or src == rank
+                or direction not in (0, 1)
+            ):
+                conn.close()
+                continue
+            if hello_epoch != epoch:
+                conn.close()
+                raise StaleEpochError(
+                    f"rank {src} dialed rejoining rank {rank} with epoch "
+                    f"{hello_epoch}, but the committed rejoin epoch is {epoch}",
+                    frame_epoch=int(hello_epoch),
+                    current_epoch=int(epoch),
+                )
+            # direction 0 = member->joiner traffic: our inbound channel
+            slot = in_socks if direction == 0 else out_socks
+            if slot[src] is not None:
+                conn.close()
+                continue
+            conn.settimeout(None)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            slot[src] = conn
+            got += 1
+    except BaseException:
+        for sock in out_socks + in_socks:
+            if sock is not None:
+                sock.close()
+        raise
+    return out_socks, in_socks
+
+
+def _rejoin_world(
+    rank: int,
+    nranks: int,
+    rdv_addr: tuple[str, int],
+    host: str,
+    timeout: float,
+    trace: Trace,
+    op_timeout: float | None = None,
+) -> SocketComm:
+    """Re-register a restarted rank and assemble its half of the mesh.
+
+    Binds a fresh mesh listener, registers ``("rejoin", ...)`` with the
+    elastic rendezvous, blocks until a member's
+    :meth:`~repro.runtime.elastic.ElasticContext.step` commits the join
+    and replies ``(epoch, members, hosts)``, then accepts both directed
+    channels from every member. Returns the backend communicator already
+    moved to the committed epoch, with the working
+    :class:`~repro.runtime.elastic.ElasticWorld` attached as
+    ``comm._elastic_world`` (dead ranks of the epoch recorded, so their
+    late EOFs cannot abort the regrown world).
+    """
+    from .elastic import ElasticWorld
+
+    deadline = time.monotonic() + timeout
+    listener = _bind_listener(host, 0, 2 * nranks)
+    try:
+        mesh_addr = (host, listener.getsockname()[1])
+        sock = _connect_retry(rdv_addr, deadline, "the elastic rendezvous")
+        try:
+            sock.settimeout(max(0.1, deadline - time.monotonic()))
+            _send_blob(sock, pickle.dumps(("rejoin", rank, nranks, *mesh_addr)))
+            try:
+                epoch, members, hosts = pickle.loads(bytes(_recv_blob(sock)))
+            except (TimeoutError, EOFError, OSError) as exc:
+                raise RendezvousTimeoutError(
+                    f"rank {rank}: the rejoin was not committed within "
+                    f"{timeout:.1f}s (is the world calling "
+                    "ElasticContext.step() between iterations?)"
+                ) from exc
+        finally:
+            sock.close()
+        members = [int(m) for m in members]
+        if rank not in members:
+            raise RendezvousError(
+                f"rejoin reply does not include rank {rank}: members {members}"
+            )
+        out_socks, in_socks = _accept_rejoin_mesh(
+            rank, nranks, members, int(epoch), listener, deadline
+        )
+    finally:
+        listener.close()
+    comm = SocketComm(rank, nranks, out_socks, in_socks, trace, op_timeout)
+    comm.epoch = int(epoch)
+    comm.dead_ranks = set(range(nranks)) - set(members)
+    comm.topology = Topology(tuple(hosts)) if hosts else None
+    comm._elastic_world = ElasticWorld(comm, members, int(epoch))
     return comm
 
 
@@ -765,6 +1095,8 @@ def serve_rank(
     topology: "Topology | str | int | None" = None,
     op_timeout: float | None = None,
     fault_plan: Any = None,
+    elastic: bool = False,
+    rejoin: bool = False,
 ) -> Any:
     """Run one rank of a multi-host socket world and return its result.
 
@@ -789,6 +1121,18 @@ def serve_rank(
     (a :class:`~repro.runtime.faults.FaultPlan` or its spec string, e.g.
     ``"seed=7,drop=0.01"``) runs the program through the fault-injecting
     communicator for manual chaos runs.
+
+    ``elastic=True`` (rank 0 only) keeps the rendezvous open after
+    assembly so killed ranks can be revived: restart the dead rank's
+    ``serve-rank`` command with ``rejoin=True`` (CLI: ``--rejoin``) and it
+    registers into the next world epoch; the survivors commit the join at
+    their next :meth:`~repro.runtime.elastic.ElasticContext.step`. Rank 0
+    hosts the rendezvous, so it cannot itself be revived. Two-host recipe
+    (after rank 1's host died mid-run and the survivors shrank)::
+
+        # host B, reviving rank 1 of the original 4-rank world
+        python -m repro serve-rank --rendezvous hostA:29400 \\
+            --rank 1 --nranks 4 --host hostB --rejoin
     """
     if not 0 <= rank < nranks:
         raise ValueError(f"rank {rank} out of range [0, {nranks})")
@@ -806,25 +1150,52 @@ def serve_rank(
             return inner_fn(FaultyComm(comm, plan), *fargs, **fkwargs)
 
     server: threading.Thread | None = None
-    if rank == 0:
-        rdv_listener = _bind_listener(rendezvous[0], rendezvous[1], nranks)
-        server = threading.Thread(
-            target=_serve_rendezvous,
-            args=(rdv_listener, nranks, rendezvous_timeout),
-            name="socket-rendezvous",
-            daemon=True,
-        )
-        server.start()
+    elastic_server: ElasticRendezvous | None = None
     trace = Trace(nranks)
-    comm = _join_world(
-        rank, nranks, rendezvous, host, rendezvous_timeout, trace, topo, op_timeout
-    )
-    if verbose:
-        print(
-            f"[serve-rank {rank}/{nranks}] world assembled: "
-            f"{comm.topology.describe()}",
-            file=sys.stderr,
+    if rejoin:
+        if rank == 0:
+            raise ValueError(
+                "rank 0 hosts the elastic rendezvous and cannot rejoin; "
+                "revive a non-zero rank"
+            )
+        comm = _rejoin_world(
+            rank, nranks, rendezvous, host, rendezvous_timeout, trace, op_timeout
         )
+        if topo is not None:
+            comm.topology = topo
+        if verbose:
+            print(
+                f"[serve-rank {rank}/{nranks}] rejoined at epoch {comm.epoch}: "
+                f"members {sorted(set(range(nranks)) - comm.dead_ranks)}",
+                file=sys.stderr,
+            )
+    else:
+        if rank == 0:
+            rdv_listener = _bind_listener(rendezvous[0], rendezvous[1], nranks)
+            if elastic:
+                elastic_server = ElasticRendezvous(
+                    rdv_listener, nranks, rendezvous_timeout
+                )
+            else:
+                server = threading.Thread(
+                    target=_serve_rendezvous,
+                    args=(rdv_listener, nranks, rendezvous_timeout),
+                    name="socket-rendezvous",
+                    daemon=True,
+                )
+                server.start()
+        comm = _join_world(
+            rank, nranks, rendezvous, host, rendezvous_timeout, trace, topo, op_timeout
+        )
+        if elastic_server is not None:
+            # the elastic leader's rank program polls this for rejoins
+            comm._elastic_rendezvous = elastic_server
+        if verbose:
+            print(
+                f"[serve-rank {rank}/{nranks}] world assembled: "
+                f"{comm.topology.describe()}",
+                file=sys.stderr,
+            )
     try:
         result = fn(comm)
         comm.shutdown()
@@ -834,6 +1205,8 @@ def serve_rank(
         comm.close()
         if server is not None:
             server.join(timeout=1.0)
+        if elastic_server is not None:
+            elastic_server.close()
 
 
 register_backend(SocketBackend.name, SocketBackend)

@@ -62,15 +62,40 @@ class ThreadWorld:
         self.trace = trace if trace is not None else Trace(size)
         self.topology = topology
         self.op_timeout = op_timeout
-        self.aborted = AbortState()
         self._mailboxes = MailboxRegistry()
+        #: per-rank abort states, mirroring the process family where each
+        #: rank's *process* holds its own flag: a failure sets every rank's
+        #: state, but an elastic shrink resets only the shrinking rank's —
+        #: so ranks that have not yet observed the failure still find it
+        #: recorded, no matter how late they arrive at their shrink() call.
+        self._rank_states = [AbortState() for _ in range(size)]
+        #: highest committed elastic epoch of any rank (informational; each
+        #: rank's working epoch lives on its :class:`ThreadComm`, again
+        #: matching the per-process epochs of the other backends).
+        self.epoch = 0
+        #: ranks a membership change declared dead; late aborts attributed
+        #: to them are suppressed so they cannot kill the shrunken world.
+        self.dead_ranks: set[int] = set()
+        self._elastic_lock = threading.Lock()
+        #: rejoin requests queued by :func:`~repro.runtime.elastic.thread_rejoin`
+        #: (the thread backend's rendezvous analog); the elastic leader
+        #: commits them between iterations.
+        self._pending_joins: list[dict] = []
 
     def mailbox(self, src: int, dst: int, tag: int) -> Mailbox:
         return self._mailboxes.get((src, dst, tag))
 
+    @property
+    def aborted(self) -> AbortState:
+        """Rank 0's abort state (the launcher's world-failed probe)."""
+        return self._rank_states[0]
+
     def abort(self, failed_rank: int | None = None) -> None:
         """Flag the world as failed and wake all blocked receivers."""
-        self.aborted.set(failed_rank)
+        if failed_rank is not None and failed_rank in self.dead_ranks:
+            return  # already accounted for by a shrink; the world lives on
+        for state in self._rank_states:
+            state.set(failed_rank)
         self._mailboxes.wake_all()
 
     def comm(self, rank: int) -> "ThreadComm":
@@ -91,6 +116,42 @@ class ThreadComm(Communicator):
         self.topology = world.topology
         self.op_timeout = world.op_timeout
         self._collective_counter = 0
+        #: this rank's elastic epoch — per-communicator, not shared, so
+        #: every survivor computes the same ``epoch + 1`` at shrink time no
+        #: matter in what order the rank threads reach their shrink() call
+        #: (exactly like the per-process epochs of the other backends)
+        self.epoch = 0
+
+    @property
+    def dead_ranks(self) -> set[int]:
+        return self.world.dead_ranks
+
+    def _elastic_reset(self, dead_ranks, epoch: int) -> None:
+        # the dead set is world knowledge, but the abort flag and epoch are
+        # per-rank: resetting only this rank's state leaves the recorded
+        # failure visible to rank threads that have not caught it yet
+        with self.world._elastic_lock:
+            self.world.dead_ranks.update(int(r) for r in dead_ranks)
+            self.world._rank_states[self.rank] = AbortState()
+            self.epoch = int(epoch)
+            self.world.epoch = max(self.world.epoch, int(epoch))
+
+    def _elastic_note_dead(self, ranks) -> None:
+        with self.world._elastic_lock:
+            self.world.dead_ranks.update(int(r) for r in ranks)
+            state = self.world._rank_states[self.rank]
+            if (
+                state.is_set()
+                and state.failed_ranks
+                and state.failed_ranks <= self.world.dead_ranks
+            ):
+                self.world._rank_states[self.rank] = AbortState()
+
+    def _elastic_regrow(self, rank: int, epoch: int) -> None:
+        with self.world._elastic_lock:
+            self.world.dead_ranks.discard(int(rank))
+            self.epoch = int(epoch)
+            self.world.epoch = max(self.world.epoch, int(epoch))
 
     # ------------------------------------------------------------------
     # transport hooks
@@ -104,13 +165,18 @@ class ThreadComm(Communicator):
 
     def _transport_recv(self, source: int, tag: int) -> tuple[Any, int, int]:
         box = self.world.mailbox(source, self.rank, tag)
-        return box.get(self.world.aborted, timeout=self.op_timeout, source=source, tag=tag)
+        return box.get(
+            self.world._rank_states[self.rank],
+            timeout=self.op_timeout,
+            source=source,
+            tag=tag,
+        )
 
     def _probe(self, source: int, tag: int) -> bool:
         return self.world.mailbox(source, self.rank, tag).has_items()
 
     def _abort_state(self) -> AbortState:
-        return self.world.aborted
+        return self.world._rank_states[self.rank]
 
 
 class ThreadBackend(Backend):

@@ -4,7 +4,7 @@ Every message the :mod:`~repro.runtime.process_backend` and
 :mod:`~repro.runtime.shmem_backend` move between rank processes is one
 byte frame::
 
-    <frame header: tag, seq, nbytes>  <payload>
+    <frame header: tag, seq, nbytes, epoch>  <payload>
 
 The payload encoding has a fast path for the library's own
 :class:`~repro.streams.SparseStream`, laid out the way §5.1 of the paper
@@ -49,13 +49,17 @@ __all__ = [
     "decode_payload",
     "encode_payload_parts",
     "encode_frame_parts",
+    "decode_frame_epoch",
     "FRAME_HEADER_SIZE",
     "FLAG_SPARSE",
     "FLAG_DENSE",
 ]
 
-#: frame header: tag (q), seq (q), accounted wire bytes (q).
-_FRAME = struct.Struct("<qqq")
+#: frame header: tag (q), seq (q), accounted wire bytes (q), world epoch (q).
+#: The epoch is the elastic world version (see :mod:`~repro.runtime.elastic`):
+#: a frame stamped with an epoch older than the receiver's current world is
+#: from a membership that no longer exists and must not be delivered.
+_FRAME = struct.Struct("<qqqq")
 
 #: size of the frame header in bytes (transports size their buffers with it).
 FRAME_HEADER_SIZE = _FRAME.size
@@ -120,10 +124,12 @@ def encode_payload_parts(obj: Any) -> tuple[int, list]:
     return sum(len(p) for p in parts), parts
 
 
-def encode_frame_parts(tag: int, seq: int, nbytes: int, obj: Any) -> tuple[int, list]:
+def encode_frame_parts(
+    tag: int, seq: int, nbytes: int, obj: Any, epoch: int = 0
+) -> tuple[int, list]:
     """One framed message as ``(total_bytes, [buffer, ...])`` (vectored)."""
     payload_len, parts = encode_payload_parts(obj)
-    return FRAME_HEADER_SIZE + payload_len, [_FRAME.pack(tag, seq, nbytes), *parts]
+    return FRAME_HEADER_SIZE + payload_len, [_FRAME.pack(tag, seq, nbytes, epoch), *parts]
 
 
 def encode_payload(obj: Any) -> bytes:
@@ -132,14 +138,16 @@ def encode_payload(obj: Any) -> bytes:
     return b"".join(bytes(p) if isinstance(p, memoryview) else p for p in parts)
 
 
-def encode_message(tag: int, seq: int, nbytes: int, obj: Any) -> bytearray:
+def encode_message(
+    tag: int, seq: int, nbytes: int, obj: Any, epoch: int = 0
+) -> bytearray:
     """Frame one point-to-point message for a byte-stream transport.
 
     Gathers the vectored parts into a single preallocated ``bytearray``
     (accepted by ``Connection.send_bytes``), so each payload byte is
     copied exactly once — no ``tobytes()`` staging, no ``+`` chains.
     """
-    total, parts = encode_frame_parts(tag, seq, nbytes, obj)
+    total, parts = encode_frame_parts(tag, seq, nbytes, obj, epoch)
     out = bytearray(total)
     pos = 0
     for part in parts:
@@ -170,10 +178,21 @@ def decode_payload(blob: bytes | bytearray | memoryview, copy: bool = True) -> A
 
 def decode_message(
     blob: bytes | bytearray | memoryview, copy: bool = True
-) -> tuple[int, int, int, Any]:
-    """Returns ``(tag, seq, nbytes, payload)``."""
-    tag, seq, nbytes = _FRAME.unpack_from(blob)
-    return tag, seq, nbytes, decode_payload(memoryview(blob)[FRAME_HEADER_SIZE:], copy)
+) -> tuple[int, int, int, int, Any]:
+    """Returns ``(tag, seq, nbytes, epoch, payload)``."""
+    tag, seq, nbytes, epoch = _FRAME.unpack_from(blob)
+    return (
+        tag,
+        seq,
+        nbytes,
+        epoch,
+        decode_payload(memoryview(blob)[FRAME_HEADER_SIZE:], copy),
+    )
+
+
+def decode_frame_epoch(blob: bytes | bytearray | memoryview) -> int:
+    """The world epoch stamped on a framed message, without decoding it."""
+    return _FRAME.unpack_from(blob)[3]
 
 
 # ----------------------------------------------------------------------

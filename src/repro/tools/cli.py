@@ -189,6 +189,19 @@ def build_parser() -> argparse.ArgumentParser:
              "'seed=7,drop=0.02,delay=0.1/0.005,kill=1@5' "
              "(see repro.runtime.faults.FaultPlan.from_spec)",
     )
+    serve.add_argument(
+        "--elastic", action="store_true",
+        help="(rank 0 only) keep the rendezvous alive after assembly so "
+             "dead ranks can come back: the world can shrink() past a "
+             "failure and later readmit a --rejoin rank",
+    )
+    serve.add_argument(
+        "--rejoin", action="store_true",
+        help="re-enter a running world that shrank past this rank's death "
+             "(requires the world to have been assembled with --elastic); "
+             "the program receives the regrown communicator once the "
+             "survivors commit the join at their next ElasticContext.step()",
+    )
 
     sub.add_parser("presets", help="show network model presets")
     return parser
@@ -232,6 +245,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.rejoin and args.rank == 0:
+            print(
+                "--rejoin cannot be used by rank 0: it owns the rendezvous "
+                "the surviving world is reachable through",
+                file=sys.stderr,
+            )
+            return 2
         result = serve_rank(
             (host, int(port)),
             args.rank,
@@ -243,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
             topology=args.topology,
             op_timeout=args.op_timeout,
             fault_plan=args.fault_plan,
+            elastic=args.elastic,
+            rejoin=args.rejoin,
         )
         print(f"rank {args.rank}/{args.nranks} finished: {result!r}")
         return 0

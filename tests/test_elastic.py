@@ -1,0 +1,438 @@
+"""Elastic worlds: epoch windows, shrink barrier, rejoin, and stale frames.
+
+The acceptance contract of the elastic runtime:
+
+* a rank killed by a :class:`FaultPlan` mid-collective leaves the
+  survivors able to ``comm.shrink()`` into a working (P-1)-rank world
+  whose collectives are bit-identical on every backend;
+* a dead thread rank rejoins through
+  :func:`~repro.runtime.elastic.thread_rejoin` (the socket analog is
+  ``serve-rank --rejoin``) and the regrown world computes with all P
+  ranks again;
+* frames and operations belonging to a superseded epoch surface as typed
+  :class:`StaleEpochError` / wire-level drops — never silent corruption;
+* the async SGD driver's ``on_failure="shrink"`` mode records the
+  aggregating world size per epoch and hands a rejoiner the live model.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.collectives.dense import allreduce_recursive_doubling
+from repro.runtime import (
+    ElasticContext,
+    FaultPlan,
+    RankError,
+    RankFailedError,
+    StaleEpochError,
+    ThreadWorld,
+    run_ranks,
+    thread_rejoin,
+)
+from repro.runtime import socket_backend as sb
+from repro.runtime.comm import _cantor_pair
+from repro.runtime.elastic import epoch_window_id
+from repro.runtime.faults import FaultyComm, RankKilledError
+
+BACKENDS = ["thread", "process", "shmem", "socket"]
+
+
+# ----------------------------------------------------------------------
+# epoch tag windows: globally injective, disjoint from split windows
+# ----------------------------------------------------------------------
+class TestEpochWindowId:
+    def test_rejects_non_positive_epochs(self):
+        for epoch in (0, -1):
+            with pytest.raises(ValueError):
+                epoch_window_id(epoch)
+
+    def test_unique_across_epochs(self):
+        ids = {epoch_window_id(e) for e in range(1, 201)}
+        assert len(ids) == 200
+
+    def test_disjoint_from_split_windows(self):
+        # splits produce odd ids (2*slot+1) and nested even ids with a
+        # cantor first component >= 1; epoch windows reserve component 0
+        epoch_ids = {epoch_window_id(e) for e in range(1, 65)}
+        odd_ids = {2 * slot + 1 for slot in range(4096)}
+        nested_ids = {
+            2 * (_cantor_pair(w, s) + 1) for w in range(1, 9) for s in range(64)
+        }
+        assert not epoch_ids & odd_ids
+        assert not epoch_ids & nested_ids
+
+
+# ----------------------------------------------------------------------
+# kill -> shrink -> bit-identical collectives, every backend
+# ----------------------------------------------------------------------
+def _kill_shrink_prog(comm):
+    vec = np.full(4, float(comm.rank + 1))
+    try:
+        out = allreduce_recursive_doubling(comm, vec.copy())
+        # the kill may land after a survivor already holds its result;
+        # the barrier guarantees every survivor observes the dead rank
+        comm.barrier()
+    except RankFailedError:
+        new_world = comm.shrink()
+        out = allreduce_recursive_doubling(new_world, vec.copy())
+        return (
+            "shrunk",
+            new_world.epoch,
+            new_world.size,
+            tuple(float(x) for x in out),
+        )
+    return ("clean", tuple(float(x) for x in out))
+
+
+class TestShrinkAfterKill:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_survivors_reform_bit_identical(self, backend):
+        victim = 2
+        with pytest.raises(RankError) as ei:
+            run_ranks(
+                _kill_shrink_prog,
+                4,
+                backend=backend,
+                fault_plan=FaultPlan(kill_rank=victim, kill_after_ops=2),
+                timeout=120.0,
+            )
+        parts = ei.value.partial_results
+        assert parts is not None
+        assert parts[victim] is None
+        # ranks 0, 1, 3 contribute 1+2+4 = 7 per element in the new world
+        expected = ("shrunk", 1, 3, (7.0, 7.0, 7.0, 7.0))
+        for rank in (0, 1, 3):
+            assert parts[rank] == expected, f"rank {rank}: {parts[rank]}"
+
+
+# ----------------------------------------------------------------------
+# full thread-backend cycle: kill -> shrink -> rejoin -> regrow
+# ----------------------------------------------------------------------
+class TestThreadRejoinCycle:
+    def test_shrink_then_rejoin_restores_full_world(self):
+        world = ThreadWorld(4, op_timeout=30.0)
+        victim = 2
+        results: dict[int, object] = {}
+        failures: dict[int, object] = {}
+        stale: dict[int, object] = {}
+
+        def survivor(rank: int) -> None:
+            comm = world.comm(rank)
+            vec = np.full(4, float(rank + 1))
+            try:
+                allreduce_recursive_doubling(comm, vec.copy())
+                results[rank] = "unexpected clean finish"
+                return
+            except RankFailedError as exc:
+                failures[rank] = exc.rank
+            shrunk = comm.shrink()
+            out1 = allreduce_recursive_doubling(shrunk, vec.copy())
+            ctx = ElasticContext(shrunk)
+            for _ in range(4000):
+                if ctx.step().size == 4:
+                    break
+                time.sleep(0.002)
+            grown = ctx.world
+            out2 = allreduce_recursive_doubling(grown, vec.copy())
+            try:
+                shrunk.send(b"x", dest=(rank + 1) % shrunk.size, tag=1)
+                stale[rank] = "no error"
+            except StaleEpochError as exc:
+                stale[rank] = (exc.frame_epoch, exc.current_epoch)
+            results[rank] = (
+                grown.epoch,
+                grown.size,
+                tuple(float(x) for x in out1),
+                tuple(float(x) for x in out2),
+            )
+
+        def reviver() -> None:
+            deadline = time.monotonic() + 30.0
+            while victim not in world.dead_ranks:
+                if time.monotonic() > deadline:
+                    results[victim] = "victim never declared dead"
+                    return
+                time.sleep(0.002)
+            comm = thread_rejoin(world, victim, timeout=30.0)
+            out = allreduce_recursive_doubling(comm, np.full(4, float(victim + 1)))
+            results[victim] = (comm.epoch, comm.size, tuple(float(x) for x in out))
+
+        threads = [
+            threading.Thread(target=survivor, args=(r,), daemon=True) for r in (0, 1, 3)
+        ]
+        for t in threads:
+            t.start()
+        world.abort(failed_rank=victim)  # simulate the rank dying mid-collective
+        rev = threading.Thread(target=reviver, daemon=True)
+        rev.start()
+        for t in [*threads, rev]:
+            t.join(timeout=60.0)
+            assert not t.is_alive(), "elastic cycle deadlocked"
+
+        assert failures == {0: victim, 1: victim, 3: victim}
+        survivors_sum = (7.0, 7.0, 7.0, 7.0)  # 1+2+4
+        full_sum = (10.0, 10.0, 10.0, 10.0)  # 1+2+3+4
+        for rank in (0, 1, 3):
+            assert results[rank] == (2, 4, survivors_sum, full_sum), results[rank]
+            # the superseded epoch-1 world is typed-stale, not silently live
+            assert stale[rank] == (1, 2)
+        assert results[victim] == (2, 4, full_sum)
+
+
+# ----------------------------------------------------------------------
+# socket backend: crash -> shrink -> serve-rank --rejoin -> stale frames
+# ----------------------------------------------------------------------
+class TestSocketRejoin:
+    def test_crash_shrink_rejoin_and_wire_stale_drop(self):
+        victim = 2
+        listener = sb._bind_listener("127.0.0.1", 0, 3)
+        rendezvous = listener.getsockname()
+        listener.close()
+        results: dict[int, object] = {}
+        crashed = threading.Event()
+
+        def member_prog(comm):
+            vec = np.full(4, float(comm.rank + 1))
+            if comm.rank == victim:
+                # simulated crash: vanish without FIN frames so peers see
+                # a mid-run EOF, exactly like a killed process
+                for sock in comm._out_socks + comm._in_socks:
+                    if sock is not None:
+                        sock.close()
+                crashed.set()
+                return "crashed"
+            try:
+                allreduce_recursive_doubling(comm, vec.copy())
+                comm.barrier()
+                return "unexpected clean finish"
+            except RankFailedError:
+                pass
+            shrunk = comm.shrink()
+            out1 = allreduce_recursive_doubling(shrunk, vec.copy())
+            ctx = ElasticContext(shrunk)
+            for _ in range(15000):
+                if ctx.step().size == 3:
+                    break
+                time.sleep(0.002)
+            grown = ctx.world
+            out2 = allreduce_recursive_doubling(grown, vec.copy())
+            # wire-level staleness: a frame stamped with a dead epoch is
+            # dropped and counted by the receiver, never delivered
+            if comm.rank == 0:
+                saved = comm.epoch
+                comm.epoch = saved - 1
+                comm.send(b"stale", dest=1, tag=77)
+                comm.epoch = saved
+                comm.send(b"fresh", dest=1, tag=77)
+                seen, rejected = None, None
+            else:
+                seen = bytes(comm.recv(source=0, tag=77))
+                rejected = comm.stale_epoch_rejected
+            try:
+                allreduce_recursive_doubling(shrunk, vec.copy())
+                stale_err = "no error"
+            except StaleEpochError as exc:
+                stale_err = (exc.frame_epoch, exc.current_epoch)
+            return (
+                grown.epoch,
+                grown.size,
+                tuple(float(x) for x in out1),
+                tuple(float(x) for x in out2),
+                stale_err,
+                seen,
+                rejected,
+            )
+
+        def member(rank: int) -> None:
+            try:
+                results[rank] = sb.serve_rank(
+                    rendezvous,
+                    rank,
+                    3,
+                    program=member_prog,
+                    elastic=(rank == 0),
+                    op_timeout=30.0,
+                    rendezvous_timeout=60.0,
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced via results
+                results[rank] = exc
+
+        def rejoin_prog(comm):
+            grown = comm._elastic_world
+            out = allreduce_recursive_doubling(
+                grown, np.full(4, float(victim + 1))
+            )
+            return (grown.epoch, grown.size, tuple(float(x) for x in out))
+
+        threads = [
+            threading.Thread(target=member, args=(r,), daemon=True) for r in range(3)
+        ]
+        for t in threads:
+            t.start()
+        assert crashed.wait(timeout=60.0), "victim never crashed"
+        reviver_result: dict[str, object] = {}
+
+        def reviver() -> None:
+            try:
+                reviver_result["value"] = sb.serve_rank(
+                    rendezvous,
+                    victim,
+                    3,
+                    program=rejoin_prog,
+                    rejoin=True,
+                    rendezvous_timeout=60.0,
+                    op_timeout=30.0,
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced via dict
+                reviver_result["value"] = exc
+
+        rev = threading.Thread(target=reviver, daemon=True)
+        rev.start()
+        for t in [*threads, rev]:
+            t.join(timeout=90.0)
+            assert not t.is_alive(), "socket elastic cycle deadlocked"
+
+        assert results.get(victim) == "crashed"
+        survivors_sum = (3.0, 3.0, 3.0, 3.0)  # 1+2
+        full_sum = (6.0, 6.0, 6.0, 6.0)  # 1+2+3
+        for rank in (0, 1):
+            value = results[rank]
+            assert not isinstance(value, Exception), f"rank {rank}: {value!r}"
+            epoch, size, out1, out2, stale_err, seen, rejected = value
+            assert (epoch, size) == (2, 3)
+            assert out1 == survivors_sum
+            assert out2 == full_sum
+            assert stale_err == (1, 2)
+        # rank 1 received only the fresh copy; the stale frame was counted
+        _, _, _, _, _, seen, rejected = results[1]
+        assert seen == b"fresh"
+        assert rejected >= 1
+        assert reviver_result["value"] == (2, 3, full_sum)
+
+
+# ----------------------------------------------------------------------
+# async SGD: shrink-and-continue, then rejoin-and-resume
+# ----------------------------------------------------------------------
+class TestAsyncSGDElastic:
+    def test_shrink_and_continue(self):
+        from repro.mlopt import (
+            LogisticRegression,
+            SGDConfig,
+            distributed_sgd_async,
+            make_sparse_classification,
+        )
+
+        dataset = make_sparse_classification(120, 500, 12, seed=5)
+        victim = 2
+
+        def prog(comm):
+            cfg = SGDConfig(epochs=6, batch_size=20, lr=0.5, mode="sparse")
+            model = LogisticRegression(dataset.n_features, 1e-5)
+            return distributed_sgd_async(
+                comm, dataset, model, cfg, on_failure="shrink"
+            )
+
+        with pytest.raises(RankError) as ei:
+            run_ranks(
+                prog,
+                4,
+                backend="thread",
+                fault_plan=FaultPlan(kill_rank=victim, kill_after_ops=8),
+            )
+        err = ei.value
+        assert err.partial_results is not None
+        for rank, history in enumerate(err.partial_results):
+            if rank == victim:
+                assert history is None
+                continue
+            # survivors shrank instead of degrading and kept aggregating
+            assert history.degraded_rank is None
+            assert len(history.records) == 6
+            assert len(history.world_sizes) == 6
+            # a survivor whose epoch-0 pipeline drained before the abort
+            # legitimately records a 4 for that epoch; a 1 marks an epoch
+            # finished on local gradients while the world reformed. Once
+            # the first post-shrink epoch lands, every epoch aggregates 3.
+            assert set(history.world_sizes) <= {1, 3, 4}
+            first_shrunk = history.world_sizes.index(3)
+            assert set(history.world_sizes[first_shrunk:]) == {3}
+            assert np.isfinite(history.final_loss)
+
+    def test_rejoin_resumes_training(self):
+        from repro.mlopt import (
+            LogisticRegression,
+            SGDConfig,
+            distributed_sgd_async,
+            make_sparse_classification,
+        )
+
+        dataset = make_sparse_classification(160, 400, 10, seed=9)
+        cfg = SGDConfig(epochs=10, batch_size=20, lr=0.5, mode="sparse")
+        plan = FaultPlan(kill_rank=2, kill_after_ops=8)
+        world = ThreadWorld(4, op_timeout=30.0)
+        victim = 2
+        results: dict[int, object] = {}
+
+        def rank_thread(rank: int) -> None:
+            comm = FaultyComm(world.comm(rank), plan)
+            model = LogisticRegression(dataset.n_features, 1e-5)
+            try:
+                results[rank] = distributed_sgd_async(
+                    comm, dataset, model, cfg, on_failure="shrink"
+                )
+            except RankKilledError:
+                world.abort(failed_rank=rank)
+                results[rank] = "killed"
+            except Exception as exc:  # noqa: BLE001 - surfaced via results
+                world.abort(failed_rank=rank)
+                results[rank] = exc
+
+        def reviver() -> None:
+            deadline = time.monotonic() + 30.0
+            while victim not in world.dead_ranks:
+                if time.monotonic() > deadline:
+                    results["reviver"] = "victim never declared dead"
+                    return
+                time.sleep(0.001)
+            try:
+                comm = thread_rejoin(world, victim, timeout=45.0)
+                model = LogisticRegression(dataset.n_features, 1e-5)
+                results["reviver"] = distributed_sgd_async(
+                    comm, dataset, model, cfg, on_failure="shrink", resume=True
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced via results
+                results["reviver"] = exc
+
+        threads = [
+            threading.Thread(target=rank_thread, args=(r,), daemon=True)
+            for r in range(4)
+        ]
+        rev = threading.Thread(target=reviver, daemon=True)
+        for t in threads:
+            t.start()
+        rev.start()
+        for t in [*threads, rev]:
+            t.join(timeout=120.0)
+            assert not t.is_alive(), "elastic SGD deadlocked"
+
+        assert results[victim] == "killed"
+        revived = results["reviver"]
+        assert not isinstance(revived, Exception), repr(revived)
+        assert revived.records, "rejoin was never committed before the run ended"
+        # the rejoiner aggregated with the full world from its first epoch
+        assert set(revived.world_sizes) == {4}
+        for rank in (0, 1, 3):
+            history = results[rank]
+            assert not isinstance(history, (Exception, str)), repr(history)
+            assert history.degraded_rank is None
+            assert len(history.world_sizes) == cfg.epochs
+            # the run shrank to 3 and regrew to 4 without restarting
+            assert 3 in history.world_sizes
+            assert history.world_sizes[-1] == 4
+        # the rejoiner synced the live model: from the grow broadcast on,
+        # it applies exactly the aggregated updates the root applies
+        root_history = results[0]
+        assert np.allclose(root_history.params, revived.params)

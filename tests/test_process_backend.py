@@ -98,8 +98,13 @@ class TestWireFormat:
                 assert out == obj
 
     def test_message_framing(self):
-        tag, seq, nbytes, payload = decode_message(encode_message(7, 3, 128, "data"))
-        assert (tag, seq, nbytes, payload) == (7, 3, 128, "data")
+        tag, seq, nbytes, epoch, payload = decode_message(encode_message(7, 3, 128, "data"))
+        assert (tag, seq, nbytes, epoch, payload) == (7, 3, 128, 0, "data")
+
+    def test_message_framing_carries_epoch(self):
+        blob = encode_message(7, 3, 128, "data", 5)
+        tag, seq, nbytes, epoch, payload = decode_message(blob)
+        assert (tag, seq, nbytes, epoch, payload) == (7, 3, 128, 5, "data")
 
     def test_corrupt_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown kind"):

@@ -132,8 +132,8 @@ class TestSharedRing:
 
         frames = []
         ring.try_read_frame(lambda v: frames.append(decode_message(v)), _NO_ABORT)
-        tag, seq, nbytes, out = frames[0]
-        assert (tag, seq, nbytes) == (5, 0, s.nbytes_payload)
+        tag, seq, nbytes, epoch, out = frames[0]
+        assert (tag, seq, nbytes, epoch) == (5, 0, s.nbytes_payload, 0)
         assert np.array_equal(out.indices, s.indices)
         assert np.array_equal(out.values, s.values)
 

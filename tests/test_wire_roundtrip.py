@@ -104,7 +104,7 @@ class TestCodecRoundTrip:
     def test_zero_copy_decode_returns_views(self):
         ref = _f16_stream()
         blob = bytearray(encode_message(3, 0, ref.nbytes_payload, ref))
-        tag, seq, nbytes, out = decode_message(blob, copy=False)
+        tag, seq, nbytes, epoch, out = decode_message(blob, copy=False)
         _assert_stream_equal(out, ref)
         # views alias the frame buffer: flipping a byte in the blob must
         # show through (this is what the shmem in-place path relies on)
@@ -116,7 +116,7 @@ class TestCodecRoundTrip:
     def test_copy_decode_owns_memory(self):
         ref = _f16_stream()
         blob = bytearray(encode_message(3, 0, ref.nbytes_payload, ref))
-        _, _, _, out = decode_message(blob, copy=True)
+        _, _, _, _, out = decode_message(blob, copy=True)
         blob[:] = b"\x00" * len(blob)
         _assert_stream_equal(out, ref)  # untouched by clobbering the frame
         out.values[0] = 9.0  # and writable
