@@ -4,9 +4,10 @@
 #   make lint               ruff check (config in pyproject.toml; CI-enforced)
 #   make smoke              fast subset (skips "slow" tests) plus a
 #                           one-iteration bench-kernels sanity pass
-#   make bench-kernels      quick wall-clock microkernel/transport/allreduce
-#                           bench; validates the emitted JSON (CI-safe, writes
-#                           to results/, never touches the committed baseline)
+#   make bench-kernels      quick wall-clock microkernel/transport/allreduce/
+#                           overlap bench; validates the emitted JSON (CI-safe,
+#                           writes to results/, never touches the committed
+#                           baseline)
 #   make bench-kernels-full full bench refreshing BENCH_microkernels.json at
 #                           the repo root (the committed perf trajectory)
 #   make bench-smoke        a quick pass over the cheapest benchmark figures
@@ -38,12 +39,16 @@ smoke:
 bench-kernels:
 	$(RUN) -m repro bench-kernels --quick --out results/BENCH_microkernels.quick.json
 	$(PYTHON) -c "import json; d = json.load(open('results/BENCH_microkernels.quick.json')); \
-	assert d['schema'] == 3 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	assert d['schema'] == 4 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
 	hier = d['hierarchy']['per_algorithm']; \
 	assert 'ssar_hier' in hier and 'dsar_hier' in hier, 'missing hier rows'; \
 	assert all('replay_tiered_s' in row and 'replay_flat_s' in row for row in hier.values()), 'missing tiered replay fields'; \
 	assert all(row['replay_tiered_s'] > 0 and row['replay_flat_s'] > 0 for row in hier.values()), 'bad replay makespans'; \
 	assert all('ssar_hier' in per_algo and 'dsar_hier' in per_algo for per_algo in d['allreduce'].values()), 'missing hier allreduce rows'; \
+	ov = d['overlap']; \
+	assert ov['chunks'] >= 2 and ov['per_backend'], 'missing overlap rows'; \
+	assert all('overlap_fraction' in m and m['overlapped_s']['median_s'] > 0 for m in ov['per_backend'].values()), 'bad overlap metrics'; \
+	assert ov['predicted']['pipelined_makespan_s'] > 0 and ov['predicted']['pipelined_makespan_s'] <= ov['predicted']['blocking_makespan_s'], 'bad predicted makespans'; \
 	print('bench JSON OK')"
 
 bench-kernels-full:

@@ -14,6 +14,7 @@ from ..quant import QSGDQuantizer
 from ..runtime.backend import Backend, ParallelResult
 from ..runtime.comm import Communicator
 from ..runtime.launcher import run_ranks
+from ..runtime.runconfig import _UNSET, RunConfig
 from ..runtime.topology import Topology
 from ..streams import SparseStream
 from ..streams.ops import REDUCE_OPS, SUM, ReduceOp
@@ -24,7 +25,7 @@ from .dense import (
     allreduce_ring,
 )
 from .dsar import dsar_split_allgather
-from .hier import dsar_hierarchical, ssar_hierarchical
+from .hier import _check_chunks, dsar_hierarchical, ssar_hierarchical
 from .selector import choose_algorithm
 from .sparse import ssar_recursive_double, ssar_ring, ssar_split_allgather
 
@@ -33,6 +34,7 @@ __all__ = [
     "dense_allreduce",
     "sparse_allgather",
     "run_sparse_allreduce",
+    "resolve_collective",
     "ALGORITHMS",
 ]
 
@@ -47,6 +49,9 @@ ALGORITHMS = {
 
 #: the dynamic-instance algorithms, whose dense stage takes the quantizer.
 DSAR_ALGORITHMS = ("dsar_split_ag", "dsar_hier")
+
+#: the algorithms that accept ``chunks=`` (pipelined hierarchical path).
+CHUNKED_ALGORITHMS = ("ssar_hier", "dsar_hier")
 
 DENSE = {
     "dense_rec_dbl": allreduce_recursive_doubling,
@@ -63,12 +68,53 @@ def _resolve_op(op: "ReduceOp | str") -> ReduceOp:
     raise ValueError(f"unknown reduction op {op!r}; choose from {sorted(REDUCE_OPS)}")
 
 
+def resolve_collective(
+    comm: Communicator,
+    stream: SparseStream,
+    algorithm: str = "auto",
+    quantizer: QSGDQuantizer | None = None,
+    op: "ReduceOp | str" = SUM,
+    chunks: int = 1,
+) -> "tuple[object, dict]":
+    """Resolve the public allreduce knobs into ``(algorithm_fn, kwargs)``.
+
+    Single resolution path shared by the blocking surface
+    (:func:`sparse_allreduce`) and the non-blocking one
+    (:func:`~repro.runtime.nonblocking.i_collective` stream form): the
+    ``"auto"`` selector, op lookup and per-algorithm knob routing
+    (``quantizer`` only to the DSAR algorithms, ``chunks`` only to the
+    hierarchical ones — both warning-free no-ops elsewhere, matching the
+    quantizer contract) live here and nowhere else. The returned pair
+    satisfies ``fn(comm, stream, **kwargs)``.
+    """
+    _check_chunks(chunks)
+    if algorithm == "auto":
+        algorithm = choose_algorithm(
+            stream.dimension,
+            comm.size,
+            stream.nnz,
+            stream.value_dtype.itemsize,
+            topology=comm.topology,
+        )
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)} or 'auto'"
+        )
+    kwargs: dict = {"op": _resolve_op(op)}
+    if algorithm in DSAR_ALGORITHMS:
+        kwargs["quantizer"] = quantizer
+    if algorithm in CHUNKED_ALGORITHMS:
+        kwargs["chunks"] = chunks
+    return ALGORITHMS[algorithm], kwargs
+
+
 def sparse_allreduce(
     comm: Communicator,
     stream: SparseStream,
     algorithm: str = "auto",
     quantizer: QSGDQuantizer | None = None,
     op: "ReduceOp | str" = SUM,
+    chunks: int = 1,
 ) -> SparseStream:
     """Element-wise sum of one sparse stream per rank, result on all ranks.
 
@@ -93,28 +139,22 @@ def sparse_allreduce(
         The coordinate-wise reduction (§5.2): a :class:`ReduceOp` or one of
         ``"sum"``, ``"max"``, ``"min"``, ``"prod"``. Missing sparse entries
         are treated as the operation's neutral element.
+    chunks:
+        Pipeline depth for the hierarchical algorithms (``ssar_hier``,
+        ``dsar_hier``): the stream is split into ``chunks`` dimension
+        ranges so leader traffic for chunk *k* overlaps the intra-host
+        reduce of chunk *k+1* — bit-identical to the unchunked run
+        (unquantized). Warning-free no-op for the flat algorithms.
 
     Returns
     -------
     SparseStream
         The sum; representation (sparse/dense) reflects actual fill-in.
     """
-    if algorithm == "auto":
-        algorithm = choose_algorithm(
-            stream.dimension,
-            comm.size,
-            stream.nnz,
-            stream.value_dtype.itemsize,
-            topology=comm.topology,
-        )
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)} or 'auto'"
-        )
-    reduce_op = _resolve_op(op)
-    if algorithm in DSAR_ALGORITHMS:
-        return ALGORITHMS[algorithm](comm, stream, quantizer=quantizer, op=reduce_op)
-    return ALGORITHMS[algorithm](comm, stream, op=reduce_op)
+    fn, kwargs = resolve_collective(
+        comm, stream, algorithm=algorithm, quantizer=quantizer, op=op, chunks=chunks
+    )
+    return fn(comm, stream, **kwargs)
 
 
 def _allreduce_rank(
@@ -123,6 +163,7 @@ def _allreduce_rank(
     algorithm: str,
     quantizer: QSGDQuantizer | None,
     op: "ReduceOp | str",
+    chunks: int = 1,
 ) -> SparseStream:
     """Module-level rank program for :func:`run_sparse_allreduce`.
 
@@ -131,7 +172,8 @@ def _allreduce_rank(
     the rank function to the worker processes.
     """
     return sparse_allreduce(
-        comm, streams[comm.rank], algorithm=algorithm, quantizer=quantizer, op=op
+        comm, streams[comm.rank], algorithm=algorithm, quantizer=quantizer, op=op,
+        chunks=chunks,
     )
 
 
@@ -139,11 +181,13 @@ def run_sparse_allreduce(
     streams: "list[SparseStream]",
     algorithm: str = "auto",
     *,
-    backend: "str | Backend" = "thread",
+    config: RunConfig | None = None,
+    backend: "str | Backend" = _UNSET,
     quantizer: QSGDQuantizer | None = None,
     op: "ReduceOp | str" = SUM,
-    timeout: float | None = 300.0,
-    topology: "Topology | str | int | None" = None,
+    timeout: float | None = _UNSET,
+    topology: "Topology | str | int | None" = _UNSET,
+    chunks: int = _UNSET,
 ) -> ParallelResult:
     """One-call driver: allreduce one stream per rank on a chosen backend.
 
@@ -156,7 +200,10 @@ def run_sparse_allreduce(
     form :func:`~repro.runtime.topology.normalize_topology` accepts, e.g.
     ``"2x4"``) simulates a multi-host world so topology-aware algorithms
     (``ssar_hier``, ``"auto"`` on hierarchical maps) can be exercised on
-    any backend.
+    any backend; ``chunks`` is the pipeline depth of the hierarchical
+    algorithms (see :func:`sparse_allreduce`). A
+    :class:`~repro.runtime.RunConfig` passed as ``config=`` supplies any
+    knob not given explicitly (explicit kwargs win).
 
     Note: under the process backend's spawn fallback (platforms without
     fork) the whole ``streams`` list is pickled into every worker; for
@@ -164,6 +211,9 @@ def run_sparse_allreduce(
     :func:`~repro.runtime.run_ranks` with a rank function that constructs
     only its own stream.
     """
+    cfg = (config if config is not None else RunConfig()).merged(
+        backend=backend, timeout=timeout, topology=topology, chunks=chunks
+    )
     return run_ranks(
         _allreduce_rank,
         len(streams),
@@ -171,9 +221,8 @@ def run_sparse_allreduce(
         algorithm,
         quantizer,
         op,
-        backend=backend,
-        timeout=timeout,
-        topology=topology,
+        cfg.chunks,
+        config=cfg,
     )
 
 

@@ -35,6 +35,7 @@ def dsar_split_allgather(
     stream: SparseStream,
     quantizer: QSGDQuantizer | None = None,
     op: ReduceOp = SUM,
+    bounds: np.ndarray | None = None,
 ) -> SparseStream:
     """DSAR_Split_allgather, optionally with a quantized dense stage.
 
@@ -49,6 +50,12 @@ def dsar_split_allgather(
         the allgather and every rank dequantizes all partitions after it.
         Each partition is quantized exactly once (by its owner), so the
         stochastic-rounding noise is applied once per entry.
+    bounds:
+        Override of the balanced dimension partition (``P + 1`` monotone
+        offsets). Chunked callers use it to keep coordinate ownership —
+        and therefore densify/merge association — identical to a
+        full-dimension run (see
+        :func:`~repro.collectives.sparse.ssar_split_allgather`).
 
     Returns
     -------
@@ -73,7 +80,8 @@ def dsar_split_allgather(
             stream.dimension, dense=block, value_dtype=stream.value_dtype, copy=False
         )
     base = comm.next_collective_tag()
-    bounds = partition_bounds(stream.dimension, comm.size)
+    if bounds is None:
+        bounds = partition_bounds(stream.dimension, comm.size)
     reduced = split_phase(comm, stream, bounds, base, op, MergeScratch())
 
     # representation switch: this partition is now treated as dense

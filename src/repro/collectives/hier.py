@@ -49,14 +49,25 @@ owning leader.
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..config import INDEX_DTYPE
 from ..quant import QSGDQuantizer
-from ..runtime.comm import Communicator
+from ..runtime.comm import CompletedHandle, Communicator
+from ..runtime.nonblocking import i_collective
 from ..runtime.topology import Topology, check_topology_size, normalize_topology
 from ..streams import SparseStream, add_streams_, reduction_work_bytes
 from ..streams.ops import SUM, ReduceOp
 from ..streams.summation import MergeScratch
+from .dense import partition_bounds
 from .dsar import dsar_split_allgather
-from .sparse import _ensure_sparse, ssar_recursive_double, ssar_ring, ssar_split_allgather
+from .sparse import (
+    _ensure_sparse,
+    slice_stream,
+    ssar_recursive_double,
+    ssar_ring,
+    ssar_split_allgather,
+)
 
 __all__ = [
     "ssar_hierarchical",
@@ -123,20 +134,154 @@ def _resolve_topology(
     return check_topology_size(topo, comm.size)
 
 
+def _check_chunks(chunks: int) -> int:
+    if not isinstance(chunks, (int, np.integer)) or isinstance(chunks, bool) or chunks < 1:
+        raise ValueError(f"chunks must be a positive int, got {chunks!r}")
+    return int(chunks)
+
+
+def _rebase_chunk(stream: SparseStream, lo: int, hi: int) -> SparseStream:
+    """Restrict ``stream`` to ``[lo, hi)`` and rebase it to dimension
+    ``hi - lo`` (indices shifted by ``-lo``) so the chunk travels and
+    densifies at chunk width, not the full dimension."""
+    piece = slice_stream(stream, lo, hi)
+    return SparseStream(
+        hi - lo,
+        indices=(piece.indices - np.uint32(lo)).astype(INDEX_DTYPE, copy=False),
+        values=piece.values,
+        value_dtype=stream.value_dtype,
+        copy=False,
+    )
+
+
+def _clip_bounds(global_bounds: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Rank-ownership bounds of the chunk ``[lo, hi)``, rebased to it.
+
+    Clipping the *full-dimension* partition into the chunk keeps every
+    global coordinate owned by the same rank as in an unchunked run, which
+    pins the merge order — and therefore the floating-point association —
+    of the split-based inner kernels. This is what makes the chunked
+    hierarchy bit-identical to the unchunked one.
+    """
+    return np.clip(global_bounds, lo, hi) - lo
+
+
+def _reassemble_chunks(
+    parts: "list[SparseStream]",
+    bounds: np.ndarray,
+    dimension: int,
+    op: ReduceOp,
+    value_dtype,
+) -> SparseStream:
+    """Concatenate per-chunk allreduce results back to the full dimension.
+
+    Chunk results are disjoint restrictions of the final vector, so the
+    "sum" is pure concatenation (§5.1 case 4). The final representation
+    follows the usual fill-in rule on the *full* dimension: dense when any
+    chunk already switched or the stored union exceeds ``delta``.
+    """
+    if any(p.is_dense for p in parts):
+        out = np.empty(dimension, dtype=value_dtype)
+        for k, p in enumerate(parts):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            if p.is_dense:
+                out[lo:hi] = p.dense_payload
+            else:
+                seg = np.full(hi - lo, op.neutral, dtype=value_dtype)
+                if p.nnz:
+                    seg[p.indices.astype(np.int64)] = p.values
+                out[lo:hi] = seg
+        return SparseStream(dimension, dense=out, value_dtype=value_dtype, copy=False)
+    idx = np.concatenate(
+        [p.indices.astype(np.int64) + int(bounds[k]) for k, p in enumerate(parts)]
+    ).astype(INDEX_DTYPE, copy=False)
+    val = (
+        np.concatenate([p.values for p in parts])
+        if idx.size
+        else np.empty(0, dtype=value_dtype)
+    )
+    out = SparseStream(dimension, indices=idx, values=val, value_dtype=value_dtype, copy=False)
+    if out.nnz > out.delta:
+        out.densify(fill=op.neutral)
+    return out
+
+
+def _chunked_hierarchical(
+    comm: Communicator,
+    stream: SparseStream,
+    op: ReduceOp,
+    topo: Topology,
+    chunks: int,
+    leader_stage,
+    leader_runs_alone: bool,
+    mark: str,
+) -> SparseStream:
+    """The depth-1 software pipeline both hierarchical algorithms share.
+
+    Per chunk ``k``: the intra-host binomial reduce runs on the calling
+    thread, the leaders' inter-node stage is *launched* through
+    :func:`~repro.runtime.nonblocking.i_collective`, and only then is
+    chunk ``k-1`` joined and broadcast — so the slow-tier exchange of one
+    chunk overlaps the fast-tier reduce of the next. Handles are joined in
+    chunk order (the MPI non-blocking-collective contract), and the
+    concurrent traffic pairs are disjoint by construction: the background
+    thread only talks leader-to-leader while the calling thread only talks
+    intra-host.
+
+    ``leader_stage(leader_comm, chunk_acc, lo, hi)`` is the per-chunk
+    inter-node kernel; ``leader_runs_alone`` mirrors the unchunked guards
+    (DSAR runs its dense stage even in a one-leader world to quantize,
+    SSAR skips it).
+    """
+    comm.mark(mark)
+    # host groups are pairwise disjoint, so they may share the first slot
+    local = comm.subgroup(topo.group_of(comm.rank))
+    leader_comm = comm.subgroup(topo.leaders)
+    launch = leader_comm is not None and (leader_comm.size > 1 or leader_runs_alone)
+
+    bounds = partition_bounds(stream.dimension, chunks)
+    scratch = MergeScratch()
+    handles: list = []
+    parts: list[SparseStream | None] = [None] * chunks
+
+    def join(k: int) -> None:
+        acc = handles[k].wait()
+        if local.size > 1:
+            comm.mark("hier_bcast")
+            acc = local.bcast(acc, root=0)
+        parts[k] = acc
+
+    for k in range(chunks):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        chunk = _rebase_chunk(stream, lo, hi)
+        comm.mark("hier_local_reduce")
+        acc = tree_reduce(local, chunk, op, scratch)
+        if launch:
+            comm.mark("hier_leaders")
+            handles.append(i_collective(leader_comm, leader_stage, acc, lo, hi))
+        else:
+            handles.append(CompletedHandle(acc))
+        if k:
+            join(k - 1)
+    join(chunks - 1)
+    return _reassemble_chunks(parts, bounds, stream.dimension, op, stream.value_dtype)
+
+
 def ssar_hierarchical(
     comm: Communicator,
     stream: SparseStream,
     op: ReduceOp = SUM,
     topology: "Topology | str | int | None" = None,
     inner: str = "ssar_rec_dbl",
+    chunks: int = 1,
 ) -> SparseStream:
     """SSAR_Hierarchical: intra-node reduce, leader allreduce, broadcast.
 
     Parameters
     ----------
     comm:
-        This rank's communicator. All ranks must agree on ``topology``
-        and ``inner``.
+        This rank's communicator. All ranks must agree on ``topology``,
+        ``inner`` and ``chunks``.
     stream:
         The local contribution (sparse or dense representation).
     op:
@@ -151,8 +296,19 @@ def ssar_hierarchical(
         callable so all ranks trivially agree; the default recursive
         doubling is latency-optimal for the (small) leader world and
         keeps the bit-compatibility property above.
+    chunks:
+        Split the dimension into this many coordinate ranges and pipeline
+        them (§7's overlap-first schedule): the leaders' inter-node
+        exchange of chunk ``k`` runs on a background thread while the
+        calling thread reduces chunk ``k+1`` intra-host. The result is
+        **bit-identical** to ``chunks=1`` on every backend: chunking only
+        restricts each stage to a coordinate range, it never changes
+        which rank combines a coordinate or in what order (the inner
+        kernels receive clipped full-dimension partition bounds so
+        coordinate ownership is preserved).
     """
     stream = _ensure_sparse(stream)
+    chunks = _check_chunks(chunks)
     if comm.size == 1:
         return stream.copy()
     if inner not in INNER_ALGORITHMS:
@@ -160,6 +316,21 @@ def ssar_hierarchical(
             f"unknown inner algorithm {inner!r}; choose from {sorted(INNER_ALGORITHMS)}"
         )
     topo = _resolve_topology(comm, topology)
+    if chunks > 1:
+        inner_bounds = partition_bounds(stream.dimension, len(topo.leaders))
+        reduce_op = op
+
+        def leader_stage(leader_comm, chunk_acc, lo, hi):
+            if inner == "ssar_rec_dbl":
+                return ssar_recursive_double(leader_comm, chunk_acc, reduce_op)
+            return INNER_ALGORITHMS[inner](
+                leader_comm, chunk_acc, reduce_op, bounds=_clip_bounds(inner_bounds, lo, hi)
+            )
+
+        return _chunked_hierarchical(
+            comm, stream, op, topo, chunks, leader_stage,
+            leader_runs_alone=False, mark="ssar_hier",
+        )
     comm.mark("ssar_hier")
 
     # every rank takes one slot in each of the two subgroup call sites:
@@ -190,6 +361,7 @@ def dsar_hierarchical(
     quantizer: QSGDQuantizer | None = None,
     op: ReduceOp = SUM,
     topology: "Topology | str | int | None" = None,
+    chunks: int = 1,
 ) -> SparseStream:
     """DSAR_Hierarchical: the dense-stage hierarchy for dynamic instances.
 
@@ -211,14 +383,36 @@ def dsar_hierarchical(
     partition bounds) and by which rank's quantizer touched each entry.
 
     Parameters mirror :func:`dsar_split_allgather` plus ``topology``
-    (defaults to ``comm.topology``, falling back to a flat world).
+    (defaults to ``comm.topology``, falling back to a flat world) and
+    ``chunks`` (the pipelined schedule of :func:`ssar_hierarchical`).
+    With the default ``quantizer=None`` the chunked result is
+    bit-identical to the unchunked one on every backend; *with* a
+    quantizer the chunked result is equal only in distribution — QSGD
+    bucket boundaries and stochastic-rounding draws shift with the chunk
+    offsets — so chunking a quantized run trades bit-reproducibility
+    against overlap.
     """
     stream = _ensure_sparse(stream)
+    chunks = _check_chunks(chunks)
     if comm.size == 1:
         # the flat kernel's single-rank path already densifies and
         # quantizes the one partition exactly once
         return dsar_split_allgather(comm, stream, quantizer=quantizer, op=op)
     topo = _resolve_topology(comm, topology)
+    if chunks > 1:
+        leader_bounds = partition_bounds(stream.dimension, len(topo.leaders))
+        reduce_op, quant = op, quantizer
+
+        def leader_stage(leader_comm, chunk_acc, lo, hi):
+            return dsar_split_allgather(
+                leader_comm, chunk_acc, quantizer=quant, op=reduce_op,
+                bounds=_clip_bounds(leader_bounds, lo, hi),
+            )
+
+        return _chunked_hierarchical(
+            comm, stream, op, topo, chunks, leader_stage,
+            leader_runs_alone=True, mark="dsar_hier",
+        )
     comm.mark("dsar_hier")
 
     # host groups are pairwise disjoint, so they may share the first slot

@@ -170,18 +170,28 @@ def split_phase(
 
 
 def ssar_split_allgather(
-    comm: Communicator, stream: SparseStream, op: ReduceOp = SUM
+    comm: Communicator,
+    stream: SparseStream,
+    op: ReduceOp = SUM,
+    bounds: np.ndarray | None = None,
 ) -> SparseStream:
     """SSAR_Split_allgather: split phase + sparse allgather (§5.3.2).
 
     Latency ``L2(P) = (P-1) alpha + log2(P) alpha``; bandwidth between
     ``2 (P-1)/P k beta_s`` and ``P k beta_s`` depending on overlap.
+
+    ``bounds`` overrides the balanced dimension partition (``P + 1``
+    monotone offsets, rank ``j`` owning ``[bounds[j], bounds[j+1])``).
+    Chunked callers use it to preserve coordinate *ownership* — which rank
+    merges each coordinate, and therefore the float association — when a
+    collective runs on a restriction of the full dimension.
     """
     stream = _ensure_sparse(stream)
     if comm.size == 1:
         return stream.copy()
     base = comm.next_collective_tag()
-    bounds = partition_bounds(stream.dimension, comm.size)
+    if bounds is None:
+        bounds = partition_bounds(stream.dimension, comm.size)
     reduced = split_phase(comm, stream, bounds, base, op, MergeScratch())
     comm.mark("allgather")
     pieces = allgather_blocks(comm, reduced, base + 1)
@@ -191,12 +201,18 @@ def ssar_split_allgather(
     return concat_disjoint(pieces, stream.dimension)
 
 
-def ssar_ring(comm: Communicator, stream: SparseStream, op: ReduceOp = SUM) -> SparseStream:
+def ssar_ring(
+    comm: Communicator,
+    stream: SparseStream,
+    op: ReduceOp = SUM,
+    bounds: np.ndarray | None = None,
+) -> SparseStream:
     """Sparse ring allreduce: ring reduce-scatter + ring allgather on slices.
 
     The "sparse counterpart" of the ring-based dense allreduce compared in
     the Fig. 3 micro-benchmarks. Bandwidth-efficient per stage but pays
-    ``2 (P-1) alpha`` latency.
+    ``2 (P-1) alpha`` latency. ``bounds`` overrides the balanced dimension
+    partition (see :func:`ssar_split_allgather`).
     """
     stream = _ensure_sparse(stream)
     P = comm.size
@@ -204,7 +220,8 @@ def ssar_ring(comm: Communicator, stream: SparseStream, op: ReduceOp = SUM) -> S
         return stream.copy()
     base = comm.next_collective_tag()
     comm.mark("ssar_ring")
-    bounds = partition_bounds(stream.dimension, P)
+    if bounds is None:
+        bounds = partition_bounds(stream.dimension, P)
     slices = [
         slice_stream(stream, int(bounds[i]), int(bounds[i + 1])) for i in range(P)
     ]

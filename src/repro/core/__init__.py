@@ -1,7 +1,7 @@
 """The paper's primary contribution: TopK sparsification + Algorithm 1."""
 
 from .dgc import DGCConfig, WarmupSchedule, dgc_sgd
-from .fusion import FusedBucket, GradientFuser
+from .fusion import FusedBucket, FusedPendingUpdate, GradientFuser
 from .topk import (
     ErrorFeedback,
     quantize_stream_values,
@@ -16,6 +16,7 @@ __all__ = [
     "WarmupSchedule",
     "dgc_sgd",
     "FusedBucket",
+    "FusedPendingUpdate",
     "GradientFuser",
     "ErrorFeedback",
     "quantize_stream_values",

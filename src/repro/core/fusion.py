@@ -24,10 +24,52 @@ import numpy as np
 
 from ..collectives.api import sparse_allreduce
 from ..quant import QSGDQuantizer
-from ..runtime.comm import Communicator
+from ..runtime.comm import Communicator, Handle
+from ..runtime.nonblocking import i_collective
 from .topk import ErrorFeedback, quantize_stream_values
 
-__all__ = ["FusedBucket", "GradientFuser"]
+__all__ = ["FusedBucket", "FusedPendingUpdate", "GradientFuser"]
+
+
+class FusedPendingUpdate(Handle):
+    """In-flight fused allreduce: one background collective per bucket.
+
+    ``wait()`` joins the buckets *in layout order* (the non-blocking
+    collective contract: all ranks join in the same program order) and
+    scatters each bucket's dense total into the fused output vector. If a
+    bucket's collective failed, the remaining handles are still reaped —
+    so no background thread outlives the step — and the first failure is
+    re-raised.
+    """
+
+    def __init__(
+        self, buckets: "list[FusedBucket]", handles: "list[Handle]", out: np.ndarray
+    ) -> None:
+        self._buckets = buckets
+        self._handles = handles
+        self._out = out
+        self._done = False
+
+    def wait(self) -> np.ndarray:
+        if self._done:
+            return self._out
+        first: BaseException | None = None
+        for bucket, handle in zip(self._buckets, self._handles):
+            try:
+                total = handle.wait()
+            except BaseException as exc:  # noqa: BLE001 - reap all, raise first
+                if first is None:
+                    first = exc
+                continue
+            if first is None:
+                self._out[bucket.start: bucket.stop] = total.to_dense()
+        self._done = True
+        if first is not None:
+            raise first
+        return self._out
+
+    def test(self) -> bool:
+        return self._done or all(h.test() for h in self._handles)
 
 
 @dataclass(frozen=True)
@@ -115,6 +157,16 @@ class GradientFuser:
         """Flat-vector slices, one per bucket, covering [0, total_size)."""
         return [slice(b.start, b.stop) for b in self.buckets]
 
+    def _check_fused_args(
+        self, grad: np.ndarray, error_feedback: list[ErrorFeedback]
+    ) -> None:
+        if grad.shape != (self.total_size,):
+            raise ValueError(f"gradient shape {grad.shape} != ({self.total_size},)")
+        if len(error_feedback) != self.n_buckets:
+            raise ValueError(
+                f"need {self.n_buckets} ErrorFeedback states, got {len(error_feedback)}"
+            )
+
     def fused_topk_allreduce(
         self,
         comm: Communicator,
@@ -122,6 +174,8 @@ class GradientFuser:
         error_feedback: list[ErrorFeedback],
         algorithm: str = "auto",
         quantizer: QSGDQuantizer | None = None,
+        nonblocking: bool = False,
+        chunks: int = 1,
     ) -> np.ndarray:
         """TopK-sparsified allreduce per fused bucket; returns the summed
         update, dense, with per-bucket error feedback state.
@@ -129,22 +183,62 @@ class GradientFuser:
         This is the layer-wise communication path the paper uses for DNN
         training ("communication is done layer-wise using non-blocking
         calls", §8.3), at the fused-bucket granularity.
+        ``nonblocking=True`` routes through :meth:`i_fused_allreduce` and
+        joins immediately (useful to exercise the async machinery with
+        blocking semantics); ``chunks`` pipelines each bucket's
+        hierarchical collective (see
+        :func:`~repro.collectives.api.sparse_allreduce`).
         """
-        if grad.shape != (self.total_size,):
-            raise ValueError(f"gradient shape {grad.shape} != ({self.total_size},)")
-        if len(error_feedback) != self.n_buckets:
-            raise ValueError(
-                f"need {self.n_buckets} ErrorFeedback states, got {len(error_feedback)}"
-            )
+        if nonblocking:
+            return self.i_fused_allreduce(
+                comm, grad, error_feedback,
+                algorithm=algorithm, quantizer=quantizer, chunks=chunks,
+            ).wait()
+        self._check_fused_args(grad, error_feedback)
         out = np.empty_like(grad)
         for bucket, ef in zip(self.buckets, error_feedback):
             segment = grad[bucket.start: bucket.stop]
             sent = ef.select(segment.astype(np.float32, copy=False))
             if quantizer is not None:
                 sent = quantize_stream_values(sent, quantizer)
-            total = sparse_allreduce(comm, sent, algorithm=algorithm)
+            total = sparse_allreduce(comm, sent, algorithm=algorithm, chunks=chunks)
             out[bucket.start: bucket.stop] = total.to_dense()
         return out
+
+    def i_fused_allreduce(
+        self,
+        comm: Communicator,
+        grad: np.ndarray,
+        error_feedback: list[ErrorFeedback],
+        algorithm: str = "auto",
+        quantizer: QSGDQuantizer | None = None,
+        chunks: int = 1,
+    ) -> FusedPendingUpdate:
+        """Async mode: launch one non-blocking collective per fused bucket.
+
+        TopK selection (and optional value quantization) runs eagerly on
+        the calling thread — error-feedback state must mutate in program
+        order — then each bucket's collective is launched through the
+        stream form of :func:`~repro.runtime.nonblocking.i_collective`
+        and proceeds in the background, so bucket ``k+1``'s selection and
+        all caller compute overlap bucket ``k``'s communication. The
+        returned :class:`FusedPendingUpdate` joins in bucket order and
+        assembles the dense update; results are bit-identical to
+        :meth:`fused_topk_allreduce` (same selection, same collectives,
+        unquantized).
+        """
+        self._check_fused_args(grad, error_feedback)
+        out = np.empty_like(grad)
+        handles: list[Handle] = []
+        for bucket, ef in zip(self.buckets, error_feedback):
+            segment = grad[bucket.start: bucket.stop]
+            sent = ef.select(segment.astype(np.float32, copy=False))
+            if quantizer is not None:
+                sent = quantize_stream_values(sent, quantizer)
+            handles.append(
+                i_collective(comm, sent, algorithm=algorithm, chunks=chunks)
+            )
+        return FusedPendingUpdate(self.buckets, handles, out)
 
     def make_error_feedback(
         self, k: int, bucket_size: int | None = 512

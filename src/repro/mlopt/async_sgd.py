@@ -41,6 +41,7 @@ import scipy.sparse as sp
 
 from ..collectives.api import sparse_allreduce
 from ..collectives.selector import choose_algorithm
+from ..core.fusion import GradientFuser
 from ..runtime.comm import Communicator, RankFailedError, WorldAbortedError
 from ..runtime.elastic import ElasticContext
 from ..runtime.nonblocking import i_collective
@@ -71,6 +72,9 @@ def distributed_sgd_async(
     *,
     on_failure: str = "degrade",
     resume: bool = False,
+    fuser: "GradientFuser | None" = None,
+    fuser_k: int = 32,
+    chunks: int = 1,
 ) -> RunHistory:
     """Data-parallel SGD with one-step-pipelined sparse aggregation.
 
@@ -84,6 +88,15 @@ def distributed_sgd_async(
     :func:`~repro.runtime.elastic.thread_rejoin`: it receives the current
     ``(epoch, model)`` from the grow broadcast and joins the loop at
     that epoch.
+
+    ``fuser`` switches the exchange to the bucketed path of §9: each
+    step's gradient is densified, TopK-selected per fused bucket (with
+    per-bucket error feedback carrying ``fuser_k`` survivors per bucket),
+    and launched through
+    :meth:`~repro.core.fusion.GradientFuser.i_fused_allreduce` — one
+    non-blocking collective per bucket, joined in order one step later.
+    ``chunks`` pipelines the hierarchical collectives either way (see
+    :func:`~repro.collectives.api.sparse_allreduce`).
     """
     if config.mode != "sparse":
         raise ValueError("asynchronous aggregation supports sparse mode only")
@@ -91,6 +104,12 @@ def distributed_sgd_async(
         raise ValueError(f"on_failure must be 'degrade' or 'shrink', got {on_failure!r}")
     if resume and on_failure != "shrink":
         raise ValueError("resume=True requires on_failure='shrink'")
+    if fuser is not None and fuser.total_size != model.n_features:
+        raise ValueError(
+            f"fuser covers {fuser.total_size} params but the model has "
+            f"{model.n_features} features"
+        )
+    feedback = fuser.make_error_feedback(fuser_k) if fuser is not None else None
     shard = partition_rows(dataset.n_samples, comm.size, comm.rank)
     X_local: sp.csr_matrix = dataset.X[shard]
     y_local = dataset.y[shard]
@@ -137,6 +156,11 @@ def distributed_sgd_async(
 
     def apply_update(total_stream, contributors: int) -> None:
         model.apply_regularization(w, config.lr)
+        if isinstance(total_stream, np.ndarray):
+            # the fused path joins to a plain dense update vector
+            comm.compute(total_stream.nbytes * 2, "apply")
+            w[:] -= (config.lr / contributors) * total_stream.astype(np.float64)
+            return
         if total_stream.is_dense:
             comm.compute(total_stream.dense_payload.nbytes * 2, "apply")
             w[:] -= (config.lr / contributors) * total_stream.dense_payload.astype(np.float64)
@@ -220,7 +244,18 @@ def distributed_sgd_async(
                 continue
             # launch this step's reduction; it progresses while the next
             # batch's gradient is being computed
-            handle = i_collective(comm, sparse_allreduce, grad, algorithm=algorithm)
+            if fuser is not None:
+                handle = fuser.i_fused_allreduce(
+                    comm,
+                    grad.to_dense().astype(np.float32),
+                    feedback,
+                    algorithm=algorithm,
+                    chunks=chunks,
+                )
+            else:
+                handle = i_collective(
+                    comm, sparse_allreduce, grad, algorithm=algorithm, chunks=chunks
+                )
             if pending is not None:
                 try:
                     apply_update(pending.wait(), comm.size)

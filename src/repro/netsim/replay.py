@@ -258,13 +258,35 @@ def replay(
     )
 
 
-def overlap_step_time(compute_s: float, comm_s: float, nonblocking: bool) -> float:
+def overlap_step_time(
+    compute_s: float, comm_s: float, nonblocking: bool, chunks: int = 1
+) -> float:
     """Per-step time with or without computation/communication overlap.
 
     With non-blocking collectives (paper §7) communication hides behind
     computation, so a training step costs ``max``; blocking steps cost the
     sum.
+
+    ``chunks > 1`` models the *chunked* hierarchical schedule
+    (``ssar_hier``/``dsar_hier`` with ``chunks=K``): the step is split into
+    K equal pieces whose communication overlaps the *next* piece's
+    computation (a depth-1 software pipeline). The first piece's compute
+    and the last piece's communication cannot be hidden, so the makespan is
+    ``c + (K-1) * max(c, m) + m`` with ``c = compute_s / K`` and
+    ``m = comm_s / K`` — approaching ``max(compute_s, comm_s)`` from above
+    as K grows, which is the ``chunks=1`` non-blocking idealisation. With
+    ``nonblocking=False`` chunking buys nothing (every piece is joined
+    immediately) and the cost stays the sum.
     """
     if compute_s < 0 or comm_s < 0:
         raise ValueError("times must be non-negative")
-    return max(compute_s, comm_s) if nonblocking else compute_s + comm_s
+    if isinstance(chunks, bool) or not isinstance(chunks, int):
+        raise TypeError(f"chunks must be an int, got {chunks!r}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    if not nonblocking:
+        return compute_s + comm_s
+    if chunks == 1:
+        return max(compute_s, comm_s)
+    c, m = compute_s / chunks, comm_s / chunks
+    return c + (chunks - 1) * max(c, m) + m

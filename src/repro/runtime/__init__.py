@@ -39,6 +39,7 @@ from .comm import (
 from .elastic import ElasticContext, ElasticWorld, shrink, thread_rejoin
 from .faults import FaultPlan, FaultyBackend, FaultyComm, RankKilledError
 from .launcher import run_ranks
+from .runconfig import RunConfig
 from .topology import (
     Topology,
     bytes_by_tier,
@@ -80,6 +81,7 @@ __all__ = [
     "ParallelResult",
     "RankError",
     "run_ranks",
+    "RunConfig",
     "NonBlockingHandle",
     "i_collective",
     "CompletedHandle",

@@ -433,6 +433,14 @@ class Communicator(abc.ABC):
     #: absolute offset of this communicator's tag space (0 for backend
     #: communicators; sub-communicators store their window start).
     _split_space_base: int = 0
+    #: how many non-blocking-collective proxies wrap this communicator's
+    #: traffic (0 = none). ``i_collective`` widens its tag-base shift by
+    #: this depth so sibling proxies at different nesting levels land in
+    #: disjoint bit fields — an equal-stride additive composition would
+    #: alias (outer launch i, inner launch k) with (i', k') whenever
+    #: ``i + k == i' + k'``. Sub-communicators inherit the depth of the
+    #: communicator they restrict.
+    _icoll_depth: int = 0
 
     # ------------------------------------------------------------------
     # transport hooks (backend-provided)
@@ -756,6 +764,8 @@ class SubCommunicator(Communicator):
         self._split_window_id = window_id
         # absolute window start: what this comm's nested splits offset from
         self._split_space_base = parent._split_space_base + tag_base
+        # a subgroup of a buffered proxy is as deeply nested as the proxy
+        self._icoll_depth = parent._icoll_depth
         if parent.topology is not None:
             # the same size check every launcher path applies: a topology
             # that does not describe the parent world cannot be restricted

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .backend import Backend, ParallelResult, RankError, get_backend
+from .runconfig import _UNSET, RunConfig
 from .topology import Topology, normalize_topology
 from .trace import Trace
 
@@ -23,13 +24,14 @@ def run_ranks(
     fn: Callable[..., Any],
     nranks: int,
     *args: Any,
-    backend: "str | Backend" = "thread",
+    config: RunConfig | None = None,
+    backend: "str | Backend" = _UNSET,
     copy_payloads: bool = True,
     trace: Trace | None = None,
-    timeout: float | None = 300.0,
-    op_timeout: float | None = None,
-    topology: "Topology | str | int | None" = None,
-    fault_plan: Any = None,
+    timeout: float | None = _UNSET,
+    op_timeout: float | None = _UNSET,
+    topology: "Topology | str | int | None" = _UNSET,
+    fault_plan: Any = _UNSET,
     **kwargs: Any,
 ) -> ParallelResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` concurrent ranks.
@@ -40,6 +42,12 @@ def run_ranks(
         The per-rank program. Its first argument is the rank's communicator.
     nranks:
         World size ``P``.
+    config:
+        Optional :class:`~repro.runtime.RunConfig` carrying the launcher
+        knobs in one frozen object. Individual kwargs below fold *over* it:
+        an explicitly passed ``backend=``/``timeout=``/... always wins over
+        the config field, and omitting both falls back to the documented
+        defaults (``backend="thread"``, ``timeout=300.0``, ...).
     backend:
         Which runtime executes the ranks: ``"thread"`` (in-process, the
         default), ``"process"`` (one OS process per rank with serialized
@@ -85,11 +93,22 @@ def run_ranks(
     RankError
         Re-raises the first rank failure, chained to the original exception.
     """
-    resolved = get_backend(backend)
-    if fault_plan is not None:
+    cfg = (config if config is not None else RunConfig()).merged(
+        backend=backend,
+        timeout=timeout,
+        op_timeout=op_timeout,
+        topology=topology,
+        fault_plan=fault_plan,
+    )
+    resolved = get_backend(cfg.backend)
+    if cfg.fault_plan is not None:
         from .faults import FaultPlan, FaultyBackend
 
-        plan = FaultPlan.from_spec(fault_plan) if isinstance(fault_plan, str) else fault_plan
+        plan = (
+            FaultPlan.from_spec(cfg.fault_plan)
+            if isinstance(cfg.fault_plan, str)
+            else cfg.fault_plan
+        )
         if isinstance(resolved, FaultyBackend):
             resolved = resolved.with_plan(plan)
         else:
@@ -100,8 +119,8 @@ def run_ranks(
         *args,
         copy_payloads=copy_payloads,
         trace=trace,
-        timeout=timeout,
-        op_timeout=op_timeout,
-        topology=normalize_topology(topology, nranks),
+        timeout=cfg.timeout,
+        op_timeout=cfg.op_timeout,
+        topology=normalize_topology(cfg.topology, nranks),
         **kwargs,
     )

@@ -24,7 +24,7 @@ completed at the join point. End-to-end benches model the overlap benefit as
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from typing import Any
 
 from .comm import Communicator, Handle
 from .trace import Trace
@@ -51,6 +51,7 @@ class _BufferedComm(Communicator):
         self.topology = inner.topology
         self._tag_base = tag_base
         self._collective_counter = 0
+        self._icoll_depth = inner._icoll_depth + 1
 
     @property
     def world_rank(self) -> int:
@@ -117,13 +118,41 @@ class NonBlockingHandle(Handle):
         return not self._thread.is_alive()
 
 
+#: "knob not passed" sentinel — lets the callable form forward only the
+#: keywords the caller actually set (a callable need not accept all four).
+_UNSET: Any = object()
+
+#: the blocking-surface knobs mirrored by the stream form (and forwarded
+#: verbatim by the callable form when explicitly set).
+_KNOBS = ("algorithm", "quantizer", "op", "chunks")
+
+
 def i_collective(
     comm: Communicator,
-    collective: Callable[..., Any],
+    collective: Any,
     *args: Any,
+    algorithm: Any = _UNSET,
+    quantizer: Any = _UNSET,
+    op: Any = _UNSET,
+    chunks: Any = _UNSET,
     **kwargs: Any,
 ) -> NonBlockingHandle:
-    """Launch ``collective(buffered_comm, *args, **kwargs)`` in the background.
+    """Launch a collective in the background; returns a joinable handle.
+
+    Two forms, mirroring the blocking surface:
+
+    * **Stream form** — ``collective`` is a
+      :class:`~repro.streams.SparseStream`: the call accepts exactly the
+      knobs of :func:`~repro.collectives.api.sparse_allreduce`
+      (``algorithm="auto"``, ``quantizer=``, ``op=``, ``chunks=``) and
+      resolves them through the same
+      :func:`~repro.collectives.api.resolve_collective` path *eagerly* on
+      the calling thread, so ``"auto"`` selection and argument validation
+      behave identically to the blocking call (and bad knobs raise at
+      launch, not at ``wait()``).
+    * **Callable form** — ``collective`` is a callable: it runs as
+      ``collective(buffered_comm, *args, **kwargs)``; any of the four
+      knobs passed explicitly are forwarded into ``kwargs`` unchanged.
 
     All ranks must call this in the same program order (the usual MPI
     non-blocking-collective contract) so the shifted tag spaces line up.
@@ -131,13 +160,59 @@ def i_collective(
     rank's thread on the thread backend, the rank's process on the process
     backend).
     """
-    tag_base = comm.next_collective_tag() << 8  # disjoint from blocking tags
+    knobs = {
+        name: value
+        for name, value in zip(_KNOBS, (algorithm, quantizer, op, chunks))
+        if value is not _UNSET
+    }
+    if callable(collective):
+        kwargs.update(knobs)
+        target, call_args, call_kwargs = collective, args, kwargs
+        payload = ()
+    else:
+        # stream form: resolve like sparse_allreduce would, on this thread
+        if args:
+            if len(args) > 1 or "algorithm" in knobs:
+                raise TypeError(
+                    "stream form of i_collective takes at most one positional "
+                    "argument (the algorithm name)"
+                )
+            knobs["algorithm"] = args[0]
+        if kwargs:
+            raise TypeError(
+                f"stream form of i_collective got unexpected keyword arguments "
+                f"{sorted(kwargs)}; it accepts {list(_KNOBS)}"
+            )
+        # local import: collectives is layered on top of the runtime package
+        from ..collectives.api import resolve_collective
+
+        target, call_kwargs = resolve_collective(comm, collective, **knobs)
+        call_args, payload = (), (collective,)
+
+    # Shift the proxy's traffic into a tag region disjoint from blocking
+    # tags — and widen the shift with proxy nesting depth, so a launch on
+    # a sub-communicator of a buffered proxy (e.g. each chunk of a chunked
+    # hierarchical collective running inside a fused-bucket collective)
+    # lands in a bit field disjoint from the *outer* launches' bases.
+    # With one equal stride, outer launch i + inner launch k aliases
+    # i' + k' whenever i + k == i' + k': concurrent sibling collectives
+    # would swap payloads. Two proxy levels fit under the
+    # sub-communicator window base (SPLIT_TAG_BASE = 1 << 40); deeper
+    # nesting would alias those windows, so refuse it loudly.
+    if comm._icoll_depth >= 2:
+        raise RuntimeError(
+            "i_collective supports at most two levels of nested "
+            "non-blocking collectives (a launch inside a launch); this "
+            "communicator is already buffered "
+            f"{comm._icoll_depth} levels deep"
+        )
+    tag_base = comm.next_collective_tag() << (8 * (1 + comm._icoll_depth))
     proxy = _BufferedComm(comm, tag_base)
     box: list[Any] = []
 
     def work() -> None:
         try:
-            box.append(collective(proxy, *args, **kwargs))
+            box.append(target(proxy, *payload, *call_args, **call_kwargs))
         except BaseException as exc:  # noqa: BLE001 - surfaced at wait()
             box.append(exc)
 

@@ -1,0 +1,65 @@
+"""One frozen config object for every launcher entry point.
+
+The launcher knobs (``backend=``, ``topology=``, ``fault_plan=``,
+``op_timeout=``, ...) used to be re-declared on ``run_ranks``,
+``run_sparse_allreduce``, ``serve_rank`` and the CLI; adding a knob meant
+touching four signatures. :class:`RunConfig` is the single declaration:
+every entry point accepts ``config=RunConfig(...)`` and folds its
+individual kwargs *over* it (an explicitly passed kwarg always wins), so
+existing call sites keep working unchanged while new knobs — like the
+``chunks`` pipeline depth of the hierarchical collectives — are added in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RunConfig"]
+
+#: sentinel default for entry-point kwargs: distinguishes "caller did not
+#: pass this knob" (take it from the config) from any real value the knob
+#: can hold — including ``None``, which is a legal ``timeout``/``topology``.
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen bundle of launcher + collective knobs.
+
+    Fields mirror the keyword arguments of
+    :func:`~repro.runtime.launcher.run_ranks` (see its docstring for full
+    semantics); ``chunks`` is the pipeline depth consumed by the
+    hierarchical collectives through
+    :func:`~repro.collectives.api.run_sparse_allreduce`.
+    """
+
+    backend: Any = "thread"
+    topology: Any = None
+    fault_plan: Any = None
+    op_timeout: float | None = None
+    timeout: float | None = 300.0
+    chunks: int = 1
+
+    def __post_init__(self) -> None:
+        # mirror collectives.hier._check_chunks without importing it (the
+        # collectives package imports the runtime package, not vice versa)
+        if isinstance(self.chunks, bool) or not isinstance(self.chunks, int):
+            raise TypeError(f"chunks must be an int, got {self.chunks!r}")
+        if self.chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        for name in ("op_timeout", "timeout"):
+            value = getattr(self, name)
+            if value is not None and not value > 0:
+                raise ValueError(f"{name} must be positive or None, got {value!r}")
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)
+
+    def merged(self, **overrides: Any) -> "RunConfig":
+        """Fold per-call kwargs over this config; ``_UNSET`` keeps the field."""
+        changes = {k: v for k, v in overrides.items() if v is not _UNSET}
+        return dataclasses.replace(self, **changes) if changes else self

@@ -72,6 +72,7 @@ from .process_backend import (
     _finalize_run,
     _portable_exception,
 )
+from .runconfig import _UNSET, RunConfig
 from .topology import Topology, normalize_topology
 from .trace import Trace
 from .wire import decode_message, encode_frame_parts
@@ -1092,9 +1093,10 @@ def serve_rank(
     host: str = "127.0.0.1",
     rendezvous_timeout: float = DEFAULT_RENDEZVOUS_TIMEOUT,
     verbose: bool = False,
-    topology: "Topology | str | int | None" = None,
-    op_timeout: float | None = None,
-    fault_plan: Any = None,
+    config: "RunConfig | None" = None,
+    topology: "Topology | str | int | None" = _UNSET,
+    op_timeout: float | None = _UNSET,
+    fault_plan: Any = _UNSET,
     elastic: bool = False,
     rejoin: bool = False,
 ) -> Any:
@@ -1120,7 +1122,10 @@ def serve_rank(
     (:class:`~repro.runtime.comm.CommTimeoutError` past it); ``fault_plan``
     (a :class:`~repro.runtime.faults.FaultPlan` or its spec string, e.g.
     ``"seed=7,drop=0.01"``) runs the program through the fault-injecting
-    communicator for manual chaos runs.
+    communicator for manual chaos runs. A
+    :class:`~repro.runtime.RunConfig` passed as ``config=`` supplies
+    ``topology``/``op_timeout``/``fault_plan`` when they are not given
+    explicitly (explicit kwargs win, matching ``run_ranks``).
 
     ``elastic=True`` (rank 0 only) keeps the rendezvous open after
     assembly so killed ranks can be revived: restart the dead rank's
@@ -1136,6 +1141,10 @@ def serve_rank(
     """
     if not 0 <= rank < nranks:
         raise ValueError(f"rank {rank} out of range [0, {nranks})")
+    cfg = (config if config is not None else RunConfig()).merged(
+        topology=topology, op_timeout=op_timeout, fault_plan=fault_plan
+    )
+    topology, op_timeout, fault_plan = cfg.topology, cfg.op_timeout, cfg.fault_plan
     topo = normalize_topology(topology, nranks)
     fn = program if callable(program) else _resolve_program(program)
     if fault_plan is not None:

@@ -3,7 +3,7 @@
 Times the library's hot paths with real clocks (no replay model) and
 writes the results as one JSON document, ``BENCH_microkernels.json`` at
 the repo root by default, so successive PRs have a numeric trajectory to
-diff against. Three layers are measured:
+diff against. Five layers are measured (``--layers`` selects a subset):
 
 ``microkernels``
     the §5.1 summation kernels (sparse merge with and without a reused
@@ -30,7 +30,19 @@ diff against. Three layers are measured:
     (``replay_flat_s``) and under the matching tiered preset with the
     simulated topology (``replay_tiered_s``), so the perf trajectory
     captures whether the two-tier replay rewards hierarchy, not just
-    whether fewer bytes crossed the slow tier.
+    whether fewer bytes crossed the slow tier;
+``overlap``
+    new in schema 4: achieved compute/communication overlap per backend
+    for the *chunked* non-blocking hierarchical allreduce (§7). Each rank
+    times a fixed numpy busywork loop alone, the blocking chunked
+    ``ssar_hier`` alone, the two run back to back, and the overlapped
+    schedule (launch through ``i_collective``, compute, join); the
+    ``overlap_fraction`` column is the share of the hideable time —
+    ``min(compute, comm)`` — actually hidden. Next to the measurements
+    sits the *predicted* pipelined makespan: the tiered-replay time of the
+    chunked trace fed through
+    :func:`~repro.netsim.replay.overlap_step_time`, so prediction and
+    reality live in the same figure.
 
 Every measurement reports ``best`` (minimum) and ``median`` seconds.
 ``--quick`` shrinks sizes and iteration counts to a few seconds total for
@@ -57,16 +69,24 @@ from ..collectives import (
     ssar_split_allgather,
 )
 from ..netsim import IB_FDR, TIERED_IB_FDR, replay
+from ..netsim.replay import overlap_step_time
 from ..runtime import Topology, bytes_by_tier, normalize_topology, run_ranks
+from ..runtime.nonblocking import i_collective
 from ..runtime.wire import decode_message, encode_message
 from ..streams import MergeScratch, SparseStream, add_streams_, merge_sparse_pairs
 
-__all__ = ["run_bench", "write_bench", "DEFAULT_OUT"]
+__all__ = ["run_bench", "write_bench", "DEFAULT_OUT", "LAYERS"]
+
+#: the selectable measurement layers, in document order.
+LAYERS = ("microkernels", "transport_roundtrip", "allreduce", "hierarchy", "overlap")
 
 #: schema version of the JSON document (bump on layout changes).
 #: 3: dsar rows in the allreduce/hierarchy layers + replayed makespans
 #: (flat vs tiered preset) per hierarchy row.
-SCHEMA = 3
+#: 4: the ``overlap`` layer (measured compute/comm overlap per backend for
+#: the chunked non-blocking hierarchy + the predicted pipelined makespan)
+#: and optional layer selection (absent layers are simply omitted).
+SCHEMA = 4
 
 #: repo root (src/repro/tools/ -> three levels up).
 DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_microkernels.json"
@@ -295,6 +315,136 @@ def _bench_hierarchy(
 
 
 # ----------------------------------------------------------------------
+# layer 5: achieved vs predicted compute/communication overlap
+# ----------------------------------------------------------------------
+def _overlap_rank(comm, dimension: int, nnz: int, chunks: int, iters: int):
+    """Time compute alone, comm alone, the two back to back, and overlapped.
+
+    The busywork is repeated large dot products — BLAS releases the GIL,
+    so the background collective makes genuine progress underneath it on
+    every backend. The repetition count is *calibrated* in-rank so the
+    compute window roughly matches one collective's wall time: overlap is
+    only measurable when there is a comparable amount of work to hide
+    behind, whatever the backend's absolute speed is.
+    """
+    gen = np.random.default_rng(100 + comm.rank)
+    s = SparseStream.random_uniform(dimension, nnz, gen)
+    work = np.random.default_rng(7).standard_normal(max(dimension, 1 << 18))
+
+    float(np.dot(work, work))  # BLAS warmup before calibration
+    t0 = time.perf_counter()
+    ssar_hierarchical(comm, s, chunks=chunks)
+    t_comm = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    float(np.dot(work, work))
+    t_dot = time.perf_counter() - t0
+    reps = min(10_000, max(1, int(round(t_comm / max(t_dot, 1e-9)))))
+
+    def busywork() -> float:
+        acc = 0.0
+        for _ in range(reps):
+            acc += float(np.dot(work, work))
+        return acc
+
+    busywork()
+    comm.barrier()
+    out: dict[str, list[float]] = {
+        "compute_s": [], "comm_s": [], "blocking_s": [], "overlapped_s": []
+    }
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        busywork()
+        out["compute_s"].append(time.perf_counter() - t0)
+        comm.barrier()
+        t0 = time.perf_counter()
+        ssar_hierarchical(comm, s, chunks=chunks)
+        out["comm_s"].append(time.perf_counter() - t0)
+        comm.barrier()
+        t0 = time.perf_counter()
+        ssar_hierarchical(comm, s, chunks=chunks)
+        busywork()
+        out["blocking_s"].append(time.perf_counter() - t0)
+        comm.barrier()
+        t0 = time.perf_counter()
+        handle = i_collective(comm, s, "ssar_hier", chunks=chunks)
+        busywork()
+        handle.wait()
+        out["overlapped_s"].append(time.perf_counter() - t0)
+        comm.barrier()
+    out["compute_reps"] = reps
+    return out
+
+
+def _one_chunked_rank(comm, dimension: int, nnz: int, chunks: int):
+    gen = np.random.default_rng(100 + comm.rank)
+    ssar_hierarchical(
+        comm, SparseStream.random_uniform(dimension, nnz, gen), chunks=chunks
+    )
+
+
+def _bench_overlap(
+    backends: list[str],
+    dimension: int,
+    nnz: int,
+    nranks: int,
+    chunks: int,
+    iters: int,
+    topology: Topology,
+) -> dict[str, Any]:
+    """Measured overlap per backend + the tiered-replay prediction.
+
+    ``overlap_fraction`` is ``(blocking - overlapped) / min(compute, comm)``
+    on the medians: 1.0 means the entire hideable window was hidden, 0
+    means the non-blocking schedule bought nothing. The ``predicted``
+    block replays the chunked thread-backend trace under the tiered preset
+    and feeds it through :func:`~repro.netsim.replay.overlap_step_time`,
+    putting the analytic pipelined makespan next to the measured rows.
+    """
+    out: dict[str, Any] = {
+        "algorithm": "ssar_hier",
+        "chunks": chunks,
+        "nnz_per_rank": nnz,
+        "topology": topology.describe(),
+        "per_backend": {},
+    }
+    for backend in backends:
+        res = run_ranks(
+            _overlap_rank, nranks, dimension, nnz, chunks, iters,
+            backend=backend, timeout=600.0, topology=topology,
+        )
+        metrics: dict[str, Any] = {
+            "compute_reps": max(r["compute_reps"] for r in res.results),
+        }
+        for key in ("compute_s", "comm_s", "blocking_s", "overlapped_s"):
+            # slowest rank per iteration = the op's latency that iteration
+            metrics[key] = _stats(
+                [max(r[key][i] for r in res.results) for i in range(iters)]
+            )
+        hideable = min(metrics["compute_s"]["median_s"], metrics["comm_s"]["median_s"])
+        saved = metrics["blocking_s"]["median_s"] - metrics["overlapped_s"]["median_s"]
+        metrics["overlap_fraction"] = (
+            round(saved / hideable, 3) if hideable > 0 else 0.0
+        )
+        out["per_backend"][backend] = metrics
+
+    trace_run = run_ranks(
+        _one_chunked_rank, nranks, dimension, nnz, chunks,
+        backend="thread", timeout=600.0, topology=topology,
+    )
+    comm_pred = replay(trace_run.trace, REPLAY_TIERED, topology=topology).makespan
+    first = next(iter(out["per_backend"].values()), None)
+    compute_ref = first["compute_s"]["median_s"] if first else 0.0
+    out["predicted"] = {
+        "replay_tiered_preset": REPLAY_TIERED.name,
+        "comm_tiered_s": comm_pred,
+        "compute_ref_s": compute_ref,
+        "blocking_makespan_s": overlap_step_time(compute_ref, comm_pred, False),
+        "pipelined_makespan_s": overlap_step_time(compute_ref, comm_pred, True, chunks),
+    }
+    return out
+
+
+# ----------------------------------------------------------------------
 # harness entry points
 # ----------------------------------------------------------------------
 def run_bench(
@@ -306,13 +456,22 @@ def run_bench(
     backends: list[str] | None = None,
     algos: list[str] | None = None,
     topology: str | None = None,
+    chunks: int = 4,
+    layers: list[str] | None = None,
 ) -> dict[str, Any]:
-    """Execute every layer and return the JSON-ready result document.
+    """Execute the selected layers and return the JSON-ready document.
 
     ``topology`` is an ``HxR`` spec for the simulated world the allreduce
     and hierarchy layers run on (it must describe ``nranks`` ranks);
-    default is two hosts with the ranks split evenly.
+    default is two hosts with the ranks split evenly. ``chunks`` is the
+    pipeline depth of the overlap layer's chunked hierarchy; ``layers``
+    selects a subset of :data:`LAYERS` (default: all) — omitted layers
+    are simply absent from the document.
     """
+    layers = list(layers) if layers else list(LAYERS)
+    unknown = sorted(set(layers) - set(LAYERS))
+    if unknown:
+        raise ValueError(f"unknown bench layers {unknown}; choose from {list(LAYERS)}")
     if quick:
         dimension = dimension or (1 << 16)
         densities = densities or [0.01]
@@ -321,12 +480,14 @@ def run_bench(
         # tree-reduce/leader/bcast schedule even in the CI smoke pass
         nranks = nranks or 4
         micro_iters, rt_iters, e2e_iters, repeats = 3, 3, 1, 1
+        overlap_iters = 3
         rt_sizes = [max(1, dimension // 100)]
     else:
         dimension = dimension or (1 << 20)
         densities = densities or [0.001, 0.01, 0.05]
         nranks = nranks or 4
         micro_iters, rt_iters, e2e_iters, repeats = 30, 40, 15, 3
+        overlap_iters = 10
         rt_sizes = [1311, 10486, 41943]  # ~10 KB / ~84 KB / ~335 KB frames
     backends = backends or ["thread", "process", "shmem", "socket"]
     algos = algos or sorted(ALGOS)
@@ -347,24 +508,35 @@ def run_bench(
             "backends": backends,
             "algorithms": algos,
             "topology": topo.describe(),
+            "layers": layers,
             "cpu_count": __import__("os").cpu_count(),
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
-        "microkernels": _bench_microkernels(dimension, headline_nnz, micro_iters),
-        "transport_roundtrip": _bench_transport(backends, dimension, rt_sizes, rt_iters),
-        "allreduce": _bench_allreduce(
-            backends, algos, dimension, densities, nranks, e2e_iters, repeats, topo
-        ),
-        "hierarchy": _bench_hierarchy(algos, dimension, headline_nnz, nranks, topo),
     }
+    if "microkernels" in layers:
+        doc["microkernels"] = _bench_microkernels(dimension, headline_nnz, micro_iters)
+    if "transport_roundtrip" in layers:
+        doc["transport_roundtrip"] = _bench_transport(
+            backends, dimension, rt_sizes, rt_iters
+        )
+    if "allreduce" in layers:
+        doc["allreduce"] = _bench_allreduce(
+            backends, algos, dimension, densities, nranks, e2e_iters, repeats, topo
+        )
+    if "hierarchy" in layers:
+        doc["hierarchy"] = _bench_hierarchy(algos, dimension, headline_nnz, nranks, topo)
+    if "overlap" in layers:
+        doc["overlap"] = _bench_overlap(
+            backends, dimension, headline_nnz, nranks, chunks, overlap_iters, topo
+        )
 
     # headline comparison: shmem vs process at the reference point
     # (N = 2^20 in full mode, density 1 %): end-to-end per algorithm plus
     # the transport round trip at the closest measured frame size
     headline: dict[str, Any] = {}
-    allreduce = doc["allreduce"]
+    allreduce = doc.get("allreduce", {})
     key = f"density_{0.01:g}"
     if "process" in allreduce and "shmem" in allreduce:
         for algo in algos:
@@ -374,7 +546,7 @@ def run_bench(
                 headline[f"e2e_{algo}_speedup_shmem_vs_process"] = round(
                     p["best_s"] / s["best_s"], 3
                 )
-    transport = doc["transport_roundtrip"]
+    transport = doc.get("transport_roundtrip", {})
     if "process" in transport and "shmem" in transport:
         for size_key in transport["process"]:
             p, s = transport["process"][size_key], transport["shmem"][size_key]
@@ -400,12 +572,13 @@ def render_summary(doc: dict[str, Any]) -> str:
         f"bench-kernels  N={p['dimension']}  P={p['nranks']}  "
         f"quick={doc['quick']}  cpus={p.get('cpu_count')}"
     )
-    mk = doc["microkernels"]
-    lines.append("microkernels (best):")
-    for name, st in mk.items():
-        if name == "params":
-            continue
-        lines.append(f"  {name:34s} {st['best_s'] * 1e6:9.1f}us")
+    mk = doc.get("microkernels")
+    if mk:
+        lines.append("microkernels (best):")
+        for name, st in mk.items():
+            if name == "params":
+                continue
+            lines.append(f"  {name:34s} {st['best_s'] * 1e6:9.1f}us")
     tr = doc.get("transport_roundtrip", {})
     if tr:
         lines.append("transport round trip, 2 ranks (median):")
@@ -415,14 +588,15 @@ def render_summary(doc: dict[str, Any]) -> str:
                 f"{bk}={tr[bk][size_key]['median_s'] * 1e6:8.1f}us" for bk in tr
             )
             lines.append(f"  {size_key:12s} {row}")
-    lines.append("allreduce end-to-end (best, per op):")
-    for bk, per_algo in doc["allreduce"].items():
-        for algo, per_d in per_algo.items():
-            row = "  ".join(
-                f"{dk.split('_', 1)[1]}={st['best_s'] * 1e3:8.2f}ms"
-                for dk, st in per_d.items()
-            )
-            lines.append(f"  {bk:8s} {algo:14s} {row}")
+    if doc.get("allreduce"):
+        lines.append("allreduce end-to-end (best, per op):")
+        for bk, per_algo in doc["allreduce"].items():
+            for algo, per_d in per_algo.items():
+                row = "  ".join(
+                    f"{dk.split('_', 1)[1]}={st['best_s'] * 1e3:8.2f}ms"
+                    for dk, st in per_d.items()
+                )
+                lines.append(f"  {bk:8s} {algo:14s} {row}")
     hier = doc.get("hierarchy")
     if hier:
         has_replay = "replay_tiered_preset" in hier  # schema >= 3
@@ -445,6 +619,27 @@ def render_summary(doc: dict[str, Any]) -> str:
             lines.append(
                 f"  {algo:14s} {row['inter_node_bytes'] / 1e3:9.1f}kB / "
                 f"{row['total_bytes'] / 1e3:9.1f}kB{replay_cols}"
+            )
+    ov = doc.get("overlap")
+    if ov:
+        lines.append(
+            f"overlap ({ov['algorithm']}, chunks={ov['chunks']}, "
+            f"{ov['topology']}; median):"
+        )
+        for bk, m in ov["per_backend"].items():
+            lines.append(
+                f"  {bk:8s} compute={m['compute_s']['median_s'] * 1e3:7.2f}ms"
+                f"  comm={m['comm_s']['median_s'] * 1e3:7.2f}ms"
+                f"  blocking={m['blocking_s']['median_s'] * 1e3:7.2f}ms"
+                f"  overlapped={m['overlapped_s']['median_s'] * 1e3:7.2f}ms"
+                f"  hidden={m['overlap_fraction'] * 100:5.1f}%"
+            )
+        pred = ov.get("predicted")
+        if pred:
+            lines.append(
+                f"  predicted ({pred['replay_tiered_preset']} tiered):"
+                f" blocking={pred['blocking_makespan_s'] * 1e3:7.2f}ms"
+                f"  pipelined={pred['pipelined_makespan_s'] * 1e3:7.2f}ms"
             )
     if doc.get("headline"):
         lines.append("headline speedups (shmem vs process):")

@@ -140,6 +140,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated world for the allreduce/hierarchy layers, e.g. 2x2 "
              "(must describe --nranks ranks; default: two hosts, even split)",
     )
+    bench.add_argument(
+        "--chunks", type=int, default=4,
+        help="pipeline depth of the overlap layer's chunked ssar_hier",
+    )
+    from .benchkernels import LAYERS
+
+    bench.add_argument(
+        "--layers", nargs="+", choices=list(LAYERS), default=None,
+        help="measure only these layers (default: all)",
+    )
 
     serve = sub.add_parser(
         "serve-rank",
@@ -252,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        from ..runtime import RunConfig
+
         result = serve_rank(
             (host, int(port)),
             args.rank,
@@ -260,9 +272,11 @@ def main(argv: list[str] | None = None) -> int:
             host=args.host,
             rendezvous_timeout=args.timeout,
             verbose=True,  # log the assembled (rank, host) grouping
-            topology=args.topology,
-            op_timeout=args.op_timeout,
-            fault_plan=args.fault_plan,
+            config=RunConfig(
+                topology=args.topology,
+                op_timeout=args.op_timeout,
+                fault_plan=args.fault_plan,
+            ),
             elastic=args.elastic,
             rejoin=args.rejoin,
         )
@@ -279,6 +293,8 @@ def main(argv: list[str] | None = None) -> int:
             nranks=args.nranks,
             backends=args.backends,
             topology=args.topology,
+            chunks=args.chunks,
+            layers=args.layers,
         )
         path = write_bench(doc, args.out)
         print(render_summary(doc))

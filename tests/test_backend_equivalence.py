@@ -113,6 +113,42 @@ def test_hier_equivalence_on_simulated_hosts(nranks):
         assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
 
 
+@pytest.mark.parametrize("nranks", [2, 4, 8])
+@pytest.mark.parametrize("algorithm", ["ssar_hier", "dsar_hier"])
+@pytest.mark.parametrize("chunks", [2, 4])
+def test_chunked_hier_equivalence(algorithm, chunks, nranks):
+    """The chunked pipeline joins the equivalence layer: chunked
+    ssar_hier/dsar_hier are bit-identical to the unchunked schedule AND
+    across all four backends on a simulated two-host world, with
+    backend-independent byte accounting."""
+    ranks_per_node = max(1, (nranks + 1) // 2)
+    streams = [make_rank_stream(DIM, NNZ, r) for r in range(nranks)]
+    base = run_sparse_allreduce(streams, algorithm, topology=ranks_per_node)
+    by_backend = {
+        b: run_sparse_allreduce(
+            streams, algorithm, backend=b, topology=ranks_per_node, chunks=chunks
+        )
+        for b in BACKENDS
+    }
+    ref = reference_sum(DIM, NNZ, nranks)
+    thread_out = by_backend["thread"]
+    for r in range(nranks):
+        t = thread_out[r].to_dense()
+        assert np.array_equal(t, base[r].to_dense()), (
+            f"{algorithm} K={chunks} P={nranks} rank {r}: chunked vs unchunked"
+        )
+        assert np.allclose(t, ref, atol=1e-4)
+        assert thread_out[r].is_dense == base[r].is_dense
+    for backend in BACKENDS[1:]:
+        other_out = by_backend[backend]
+        for r in range(nranks):
+            assert np.array_equal(thread_out[r].to_dense(), other_out[r].to_dense()), (
+                f"{algorithm} K={chunks} P={nranks} rank {r}: thread vs {backend}"
+            )
+        assert thread_out.trace.total_messages == other_out.trace.total_messages
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
+
+
 SPLIT_SCHEMES = {
     # color, key as functions of (rank, size): parity groups, reversed-key
     # halves, and a split that excludes rank 0 entirely (color None)

@@ -383,6 +383,137 @@ class TestTieredReplayVerdict:
         )
 
 
+def _chunked_prog(comm, algo, chunks, topology=None):
+    stream = make_rank_stream(DIM, NNZ, comm.rank)
+    fn = ssar_hierarchical if algo == "ssar_hier" else dsar_hierarchical
+    return fn(comm, stream, topology=topology, chunks=chunks)
+
+
+class TestChunked:
+    """The chunked pipeline (tentpole of the overlap PR): splitting the
+    coordinate space into K chunks so leader exchanges overlap intra-host
+    reduces must not change a single bit of the result — every chunk is
+    reduced by the exact unchunked schedule on its sub-range."""
+
+    @pytest.mark.parametrize("algo", ["ssar_hier", "dsar_hier"])
+    @pytest.mark.parametrize("chunks", [2, 3, 4, 8])
+    @pytest.mark.parametrize(
+        "nranks,topology",
+        [(3, 2), (4, "2x2"), (5, 2), (8, "2x4")],  # ragged + aligned hosts
+    )
+    def test_bit_identical_to_unchunked(self, algo, chunks, nranks, topology):
+        base = run_ranks(_chunked_prog, nranks, algo, 1, topology, backend="thread")
+        out = run_ranks(_chunked_prog, nranks, algo, chunks, topology, backend="thread")
+        ref = reference_sum(DIM, NNZ, nranks)
+        for r in range(nranks):
+            assert np.array_equal(base[r].to_dense(), out[r].to_dense()), f"rank {r}"
+            assert base[r].is_dense == out[r].is_dense
+        assert np.allclose(base[0].to_dense(), ref, atol=1e-4)
+
+    def test_chunks_one_is_the_unchunked_schedule(self):
+        """chunks=1 takes the original code path: identical trace shape."""
+        base = run_ranks(_chunked_prog, 4, "ssar_hier", 1, "2x2", backend="thread")
+        plain = run_ranks(_hier_prog, 4, "2x2", backend="thread")
+        assert base.trace.total_messages == plain.trace.total_messages
+        assert base.trace.total_bytes_sent == plain.trace.total_bytes_sent
+
+    def test_more_chunks_than_nnz(self):
+        """Chunks that receive no coordinates still flow through the
+        pipeline (empty streams are legal payloads)."""
+        out = run_ranks(_chunked_prog, 4, "ssar_hier", 64, "2x2", backend="thread")
+        base = run_ranks(_chunked_prog, 4, "ssar_hier", 1, "2x2", backend="thread")
+        for r in range(4):
+            assert np.array_equal(base[r].to_dense(), out[r].to_dense())
+
+    def test_empty_streams_chunked(self):
+        def prog(comm):
+            return ssar_hierarchical(
+                comm, SparseStream(DIM), topology=Topology.uniform(4, 2), chunks=4
+            )
+
+        out = run_ranks(prog, 4, backend="thread")
+        assert out[0].nnz == 0
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5])
+    def test_invalid_chunks_rejected(self, bad):
+        with pytest.raises(RankError, match="chunks"):
+            run_ranks(_chunked_prog, 2, "ssar_hier", bad, 2, backend="thread")
+
+    def test_chunks_noop_on_flat_algorithms(self):
+        """Like the quantizer knob, chunks= is silently dropped by
+        algorithms that cannot pipeline: same trace, same bits."""
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(4)]
+        base = run_sparse_allreduce(streams, "ssar_rec_dbl")
+        out = run_sparse_allreduce(streams, "ssar_rec_dbl", chunks=4)
+        for r in range(4):
+            assert np.array_equal(base[r].to_dense(), out[r].to_dense())
+        assert base.trace.total_messages == out.trace.total_messages
+        assert base.trace.total_bytes_sent == out.trace.total_bytes_sent
+
+    def test_auto_selection_accepts_chunks(self):
+        """algorithm="auto" + chunks= picks ssar_hier on a hierarchical
+        world and matches the unchunked auto result bit for bit."""
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(4)]
+        base = run_sparse_allreduce(streams, "auto", topology="2x2")
+        out = run_sparse_allreduce(streams, "auto", topology="2x2", chunks=4)
+        for r in range(4):
+            assert np.array_equal(base[r].to_dense(), out[r].to_dense())
+        assert out.trace.total_messages > base.trace.total_messages  # chunked
+
+    def test_chunked_still_moves_fewer_inter_node_bytes(self):
+        """Chunking adds per-chunk headers but must not forfeit the
+        hierarchy's reason to exist on the slow tier."""
+        topo = Topology.from_spec("2x4")
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(8)]
+        chunked = run_sparse_allreduce(streams, "ssar_hier", topology=topo, chunks=4)
+        rec = run_sparse_allreduce(streams, "ssar_rec_dbl", topology=topo)
+        assert bytes_by_tier(chunked.trace, topo)[1] < bytes_by_tier(rec.trace, topo)[1]
+
+    @pytest.mark.parametrize("inner", ["ssar_rec_dbl", "ssar_split_ag", "ssar_ring"])
+    def test_every_inner_kernel_chunked(self, inner):
+        def prog(comm):
+            return ssar_hierarchical(
+                comm, make_rank_stream(DIM, NNZ, comm.rank),
+                topology="2x4", inner=inner, chunks=3,
+            )
+
+        def baseline(comm):
+            return ssar_hierarchical(
+                comm, make_rank_stream(DIM, NNZ, comm.rank),
+                topology="2x4", inner=inner,
+            )
+
+        out = run_ranks(prog, 8, backend="thread")
+        base = run_ranks(baseline, 8, backend="thread")
+        for r in range(8):
+            assert np.array_equal(base[r].to_dense(), out[r].to_dense())
+
+    def test_quantized_chunked_dsar_agrees_across_ranks(self):
+        """Quantized + chunked is *not* bit-identical to unchunked (the
+        quantizer buckets tile each chunk separately) but stays an
+        allreduce: every rank identical, close to the true sum."""
+        def prog(comm):
+            return dsar_hierarchical(
+                comm,
+                make_rank_stream(DIM, NNZ, comm.rank),
+                quantizer=QSGDQuantizer(bits=8, bucket_size=256, seed=100 + comm.rank),
+                topology="2x2",
+                chunks=4,
+            )
+
+        out = run_ranks(prog, 4, backend="thread")
+        ref = reference_sum(DIM, NNZ, 4)
+        base = out[0].to_dense()
+        for r in range(1, 4):
+            assert np.array_equal(base, out[r].to_dense())
+        err = np.linalg.norm(base - ref) / max(np.linalg.norm(ref), 1e-12)
+        assert err < 0.05
+
+    def test_single_rank_chunked(self):
+        out = run_ranks(_chunked_prog, 1, "ssar_hier", 4, None, backend="thread")
+        assert np.allclose(out[0].to_dense(), reference_sum(DIM, NNZ, 1), atol=1e-6)
+
+
 @pytest.mark.parametrize("nranks,topology", [(4, "2x2")])
 class TestSocketTwoHostSmoke:
     """The CI hierarchical smoke leg: 2 simulated hosts x 2 ranks over the

@@ -1,11 +1,13 @@
-"""Tests for tensor fusion (gradient bucket coalescing, §9)."""
+"""Tests for tensor fusion (gradient bucket coalescing, §9) and its
+async mode (one non-blocking collective per bucket, joined in order)."""
 
 import numpy as np
 import pytest
 
-from repro.core import ErrorFeedback, GradientFuser
+from repro.core import ErrorFeedback, FusedPendingUpdate, GradientFuser
 from repro.nn import make_lstm, make_mlp
 from repro.runtime import run_ranks
+from repro.streams import SparseStream
 
 
 class TestBucketLayout:
@@ -165,3 +167,183 @@ class TestFusedAllreduce:
         fp = run_with(None)
         q4 = run_with(QSGDQuantizer(bits=4, bucket_size=512, seed=0))
         assert q4.trace.total_bytes_sent < fp.trace.total_bytes_sent
+
+
+def _grads(rank, dim, seed=400):
+    return np.random.default_rng(seed + rank).standard_normal(dim).astype(np.float32)
+
+
+class TestAsyncFusedAllreduce:
+    """i_fused_allreduce: selection eager (program order), communication in
+    the background, join in bucket order — bit-identical to blocking mode."""
+
+    DIM = 256
+    SIZES = [("a", 96), ("b", 96), ("c", 64)]
+
+    def _run(self, nranks, mode, topology=None, chunks=1, algorithm="ssar_rec_dbl"):
+        fuser = GradientFuser(self.SIZES, min_bucket_bytes=0)
+
+        def prog(comm):
+            efs = fuser.make_error_feedback(k=8, bucket_size=32)
+            grad = _grads(comm.rank, self.DIM)
+            if mode == "blocking":
+                out = fuser.fused_topk_allreduce(
+                    comm, grad, efs, algorithm=algorithm, chunks=chunks
+                )
+            elif mode == "flag":
+                out = fuser.fused_topk_allreduce(
+                    comm, grad, efs, algorithm=algorithm, chunks=chunks,
+                    nonblocking=True,
+                )
+            else:
+                handle = fuser.i_fused_allreduce(
+                    comm, grad, efs, algorithm=algorithm, chunks=chunks
+                )
+                overlapped = sum(range(500))  # caller compute during comm
+                out = handle.wait()
+                assert overlapped == sum(range(500))
+            return out, [ef.residual_norm for ef in efs]
+
+        return run_ranks(prog, nranks, topology=topology)
+
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_async_bit_identical_to_blocking(self, nranks):
+        blk = self._run(nranks, "blocking")
+        asy = self._run(nranks, "async")
+        for r in range(nranks):
+            assert np.array_equal(blk[r][0], asy[r][0]), f"rank {r}"
+            # error-feedback state advanced identically (selection is the
+            # program-order part; it must not depend on join timing)
+            assert blk[r][1] == asy[r][1]
+
+    def test_nonblocking_flag_routes_through_async(self):
+        blk = self._run(4, "blocking")
+        flag = self._run(4, "flag")
+        for r in range(4):
+            assert np.array_equal(blk[r][0], flag[r][0])
+
+    def test_async_chunked_hier_bit_identical(self):
+        """The PR's full stack in one call: auto-selected hierarchical
+        collective, chunked, one background launch per bucket."""
+        blk = self._run(4, "blocking", topology="2x2", algorithm="auto")
+        asy = self._run(4, "async", topology="2x2", algorithm="auto", chunks=2)
+        for r in range(4):
+            assert np.array_equal(blk[r][0], asy[r][0]), f"rank {r}"
+
+    def test_async_trace_matches_blocking(self):
+        """Same collectives, same bytes — the async mode changes *when*
+        traffic completes, never how much travels."""
+        blk = self._run(4, "blocking")
+        asy = self._run(4, "async")
+        assert asy.trace.total_messages == blk.trace.total_messages
+        assert asy.trace.total_bytes_sent == blk.trace.total_bytes_sent
+
+    def test_selection_runs_eagerly_at_launch(self):
+        """Error-feedback residuals mutate at i_fused_allreduce() time,
+        before wait(): the program-order half is not deferred."""
+        fuser = GradientFuser([("a", 64), ("b", 64)], min_bucket_bytes=0)
+
+        def prog(comm):
+            efs = fuser.make_error_feedback(k=4, bucket_size=32)
+            handle = fuser.i_fused_allreduce(comm, _grads(comm.rank, 128), efs)
+            norms_at_launch = [ef.residual_norm for ef in efs]
+            handle.wait()
+            norms_at_join = [ef.residual_norm for ef in efs]
+            return norms_at_launch, norms_at_join
+
+        out = run_ranks(prog, 2)
+        at_launch, at_join = out[0]
+        assert all(n > 0 for n in at_launch)
+        assert at_launch == at_join  # wait() does not touch the residuals
+
+    def test_wait_is_idempotent(self):
+        fuser = GradientFuser([("a", 64)], min_bucket_bytes=0)
+
+        def prog(comm):
+            efs = fuser.make_error_feedback(k=4, bucket_size=32)
+            handle = fuser.i_fused_allreduce(comm, _grads(comm.rank, 64), efs)
+            first = handle.wait()
+            second = handle.wait()
+            return first is second
+
+        assert all(run_ranks(prog, 2).results)
+
+    def test_back_to_back_steps_in_program_order(self):
+        """Two async steps joined in order behave like two blocking steps
+        (the non-blocking-collective program-order contract)."""
+        fuser = GradientFuser(self.SIZES, min_bucket_bytes=0)
+
+        def prog(comm, nonblocking):
+            efs = fuser.make_error_feedback(k=8, bucket_size=32)
+            outs = []
+            for step in range(2):
+                grad = _grads(comm.rank, self.DIM, seed=700 + 31 * step)
+                if nonblocking:
+                    outs.append(fuser.i_fused_allreduce(comm, grad, efs).wait().copy())
+                else:
+                    outs.append(fuser.fused_topk_allreduce(comm, grad, efs).copy())
+            return outs
+
+        blk = run_ranks(prog, 4, False)
+        asy = run_ranks(prog, 4, True)
+        for r in range(4):
+            for step in range(2):
+                assert np.array_equal(blk[r][step], asy[r][step]), (r, step)
+
+
+class _StubHandle:
+    """Scripted handle for the FusedPendingUpdate unit tests."""
+
+    def __init__(self, result=None, error=None, log=None, name=""):
+        self._result = result
+        self._error = error
+        self._log = log if log is not None else []
+        self._name = name
+
+    def wait(self):
+        self._log.append(self._name)
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def test(self):
+        return True
+
+
+class TestFusedPendingUpdate:
+    def _fuser(self):
+        return GradientFuser([("a", 4), ("b", 4)], min_bucket_bytes=0)
+
+    def test_scatters_in_bucket_order(self):
+        fuser = self._fuser()
+        log = []
+        handles = [
+            _StubHandle(
+                SparseStream(4, indices=np.arange(4, dtype=np.uint32),
+                             values=np.full(4, float(i + 1), np.float32)),
+                log=log, name=f"bucket{i}",
+            )
+            for i in range(2)
+        ]
+        out = np.empty(8, np.float32)
+        update = FusedPendingUpdate(fuser.buckets, handles, out)
+        assert update.test()
+        result = update.wait()
+        assert log == ["bucket0", "bucket1"]  # joined in layout order
+        assert result is out
+        assert np.array_equal(out, [1, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_failure_reaps_every_handle_and_raises_first(self):
+        """A failed bucket must not leave later handles un-joined (their
+        background threads would outlive the step) and the *first* error
+        wins."""
+        fuser = self._fuser()
+        log = []
+        handles = [
+            _StubHandle(error=RuntimeError("bucket0 failed"), log=log, name="bucket0"),
+            _StubHandle(error=RuntimeError("bucket1 failed"), log=log, name="bucket1"),
+        ]
+        update = FusedPendingUpdate(fuser.buckets, handles, np.zeros(8, np.float32))
+        with pytest.raises(RuntimeError, match="bucket0 failed"):
+            update.wait()
+        assert log == ["bucket0", "bucket1"]  # both reaped

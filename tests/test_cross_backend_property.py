@@ -165,6 +165,54 @@ def test_property_slow_hier_agrees_across_backends(
         assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
 
 
+def _chunked_hier_prog(comm, dim, nnz, seed, chunks):
+    return ssar_hierarchical(
+        comm, make_rank_stream(dim, nnz, comm.rank, seed), chunks=chunks
+    )
+
+
+@pytest.mark.slow
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    ranks_per_node=st.integers(min_value=1, max_value=8),
+    chunks=st.integers(min_value=1, max_value=6),
+    dim=st.integers(min_value=8, max_value=800),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 10_000),
+)
+def test_property_slow_chunked_hier_matches_unchunked_across_backends(
+    nranks, ranks_per_node, chunks, dim, density, seed
+):
+    """Chunked ssar_hier on a random topology for a random pipeline depth:
+    bit-identical to the unchunked schedule and across all four backends —
+    the tentpole guarantee of the overlap PR, randomized."""
+    nnz = int(round(density * dim))
+    topology = min(ranks_per_node, nranks)
+    base = run_ranks(
+        _hier_prog, nranks, dim, nnz, seed, backend="thread", topology=topology
+    )
+    outs = {
+        b: run_ranks(
+            _chunked_hier_prog, nranks, dim, nnz, seed, chunks,
+            backend=b, topology=topology,
+        )
+        for b in BACKENDS
+    }
+    thread_out = outs["thread"]
+    for r in range(nranks):
+        assert np.array_equal(thread_out[r].to_dense(), base[r].to_dense()), (
+            f"P={nranks} K={chunks} rank {r}: chunked vs unchunked"
+        )
+    for backend in BACKENDS[1:]:
+        other_out = outs[backend]
+        for r in range(nranks):
+            assert np.array_equal(
+                thread_out[r].to_dense(), other_out[r].to_dense()
+            ), f"P={nranks} K={chunks} rank {r}: thread vs {backend}"
+        assert thread_out.trace.total_bytes_sent == other_out.trace.total_bytes_sent
+
+
 @pytest.mark.slow
 @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(

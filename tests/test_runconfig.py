@@ -1,0 +1,195 @@
+"""RunConfig: one frozen bundle for every launcher/collective knob.
+
+Satellite of the chunked-overlap PR: ``run_ranks``,
+``run_sparse_allreduce`` and ``serve_rank`` all accept ``config=`` and
+fold their individual kwargs *over* it — an explicitly passed kwarg
+always wins, and omitting both falls back to the documented defaults.
+These tests pin the dataclass contract (frozen, validated,
+``replace``/``merged`` semantics) and the folding behaviour at each
+entry point, using knobs a rank program can actually observe
+(``comm.topology``, ``comm.op_timeout``, the chunked trace shape).
+"""
+
+import dataclasses
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.collectives import run_sparse_allreduce
+from repro.runtime import RunConfig, run_ranks, serve_rank
+from repro.runtime.runconfig import _UNSET
+
+from conftest import make_rank_stream, reference_sum
+
+DIM, NNZ = 2048, 64
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestDataclassContract:
+    def test_defaults_match_entry_point_defaults(self):
+        cfg = RunConfig()
+        assert cfg.backend == "thread"
+        assert cfg.topology is None
+        assert cfg.fault_plan is None
+        assert cfg.op_timeout is None
+        assert cfg.timeout == 300.0
+        assert cfg.chunks == 1
+
+    def test_frozen(self):
+        cfg = RunConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.backend = "process"
+
+    def test_replace_returns_new_instance(self):
+        cfg = RunConfig()
+        other = cfg.replace(backend="socket", chunks=4)
+        assert other.backend == "socket" and other.chunks == 4
+        assert cfg.backend == "thread" and cfg.chunks == 1  # original untouched
+
+    def test_merged_drops_unset_keeps_real_values(self):
+        cfg = RunConfig(timeout=60.0, topology="2x2")
+        same = cfg.merged(timeout=_UNSET, topology=_UNSET)
+        assert same is cfg  # nothing to fold -> no copy
+        folded = cfg.merged(timeout=None, topology=_UNSET, chunks=8)
+        assert folded.timeout is None  # None is a real override, not "unset"
+        assert folded.topology == "2x2"
+        assert folded.chunks == 8
+
+    def test_replace_and_merged_revalidate(self):
+        with pytest.raises(ValueError, match="chunks"):
+            RunConfig().replace(chunks=0)
+        with pytest.raises(ValueError, match="timeout"):
+            RunConfig().merged(timeout=-1.0)
+
+    @pytest.mark.parametrize("bad", [0, -3, True, 2.5, "4"])
+    def test_invalid_chunks_rejected(self, bad):
+        with pytest.raises((TypeError, ValueError), match="chunks"):
+            RunConfig(chunks=bad)
+
+    @pytest.mark.parametrize("field", ["timeout", "op_timeout"])
+    @pytest.mark.parametrize("bad", [0, -0.5])
+    def test_non_positive_timeouts_rejected(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            RunConfig(**{field: bad})
+
+
+def _observe_knobs(comm):
+    return comm.topology.nnodes, comm.op_timeout
+
+
+class TestRunRanksFolding:
+    def test_config_supplies_topology_and_op_timeout(self):
+        cfg = RunConfig(topology="2x2", op_timeout=12.5)
+        out = run_ranks(_observe_knobs, 4, config=cfg)
+        assert out[0] == (2, 12.5)
+
+    def test_explicit_kwargs_win_over_config(self):
+        cfg = RunConfig(topology="2x2", op_timeout=12.5)
+        out = run_ranks(_observe_knobs, 4, config=cfg, topology="4x1", op_timeout=3.0)
+        assert out[0] == (4, 3.0)
+
+    def test_config_supplies_backend(self):
+        def prog(comm):
+            from repro.collectives import ssar_recursive_double
+
+            return ssar_recursive_double(comm, make_rank_stream(DIM, NNZ, comm.rank))
+
+        thread = run_ranks(prog, 2, backend="thread")
+        proc = run_ranks(prog, 2, config=RunConfig(backend="process"))
+        for r in range(2):
+            assert np.array_equal(thread[r].to_dense(), proc[r].to_dense())
+        assert proc.trace.total_bytes_sent == thread.trace.total_bytes_sent
+
+    def test_config_timeout_enforced_and_overridable(self):
+        import time
+
+        def slow(comm):
+            time.sleep(0.5)
+            return comm.rank
+
+        cfg = RunConfig(timeout=0.05)
+        with pytest.raises(TimeoutError):
+            run_ranks(slow, 2, config=cfg)
+        out = run_ranks(slow, 2, config=cfg, timeout=30.0)  # explicit wins
+        assert out.results == [0, 1]
+
+
+class TestRunSparseAllreduceFolding:
+    def test_config_chunks_reach_the_hierarchical_collective(self):
+        """chunks from the config produce the chunked schedule (more
+        messages: each chunk travels separately) with the identical sum."""
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(4)]
+        base = run_sparse_allreduce(streams, "ssar_hier", topology="2x2")
+        cfg = RunConfig(topology="2x2", chunks=4)
+        chunked = run_sparse_allreduce(streams, "ssar_hier", config=cfg)
+        for r in range(4):
+            assert np.array_equal(base[r].to_dense(), chunked[r].to_dense())
+        assert chunked.trace.total_messages > base.trace.total_messages
+
+    def test_explicit_chunks_win_over_config(self):
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(4)]
+        base = run_sparse_allreduce(streams, "ssar_hier", topology="2x2")
+        cfg = RunConfig(topology="2x2", chunks=4)
+        unchunked = run_sparse_allreduce(streams, "ssar_hier", config=cfg, chunks=1)
+        assert unchunked.trace.total_messages == base.trace.total_messages
+
+    def test_invalid_chunks_raise_in_the_driver_not_the_ranks(self):
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(2)]
+        with pytest.raises(ValueError, match="chunks"):
+            run_sparse_allreduce(streams, "ssar_hier", chunks=0)
+
+    def test_config_backend_and_correctness(self):
+        streams = [make_rank_stream(DIM, NNZ, r) for r in range(4)]
+        out = run_sparse_allreduce(
+            streams, "ssar_hier", config=RunConfig(backend="shmem", topology=2, chunks=2)
+        )
+        ref = reference_sum(DIM, NNZ, 4)
+        for r in range(4):
+            assert np.allclose(out[r].to_dense(), ref, atol=1e-4)
+
+
+class TestServeRankFolding:
+    def _assemble(self, nranks, program, **kwargs):
+        port = _free_port()
+        results, errors = {}, {}
+
+        def join(rank):
+            try:
+                results[rank] = serve_rank(
+                    ("127.0.0.1", port), rank, nranks,
+                    program=program, rendezvous_timeout=30.0, **kwargs,
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+                errors[rank] = exc
+
+        threads = [threading.Thread(target=join, args=(r,)) for r in range(nranks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, f"serve_rank ranks failed: {errors}"
+        return results
+
+    def test_config_supplies_topology_and_op_timeout(self):
+        cfg = RunConfig(topology=2, op_timeout=17.0)
+        results = self._assemble(2, _observe_knobs, config=cfg)
+        assert results[0] == (1, 17.0)  # 2 ranks per node -> one node
+
+    def test_explicit_kwargs_win_over_config(self):
+        cfg = RunConfig(topology=2, op_timeout=17.0)
+        results = self._assemble(
+            2, _observe_knobs, config=cfg, topology=1, op_timeout=5.0
+        )
+        assert results[0] == (2, 5.0)  # 1 rank per node -> two nodes
+
+    def test_config_topology_validated_before_any_socket_work(self):
+        # an unroutable rendezvous would hang if validation came later
+        with pytest.raises(ValueError, match="describes 4 ranks"):
+            serve_rank(("127.0.0.1", 1), 0, 2, config=RunConfig(topology="2x2"))

@@ -183,7 +183,7 @@ class TestBenchKernelsCommand:
         ])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 3 and doc["quick"] is True
+        assert doc["schema"] == 4 and doc["quick"] is True
         assert doc["params"]["dimension"] == 4096
         # every layer present, with sane positive timings
         for name, stats in doc["microkernels"].items():
@@ -207,9 +207,20 @@ class TestBenchKernelsCommand:
         for row in hier["per_algorithm"].values():
             assert 0 <= row["inter_node_bytes"] <= row["total_bytes"]
             assert row["intra_node_bytes"] + row["inter_node_bytes"] == row["total_bytes"]
-            # schema 3: both replayed makespans present and sane
+            # both replayed makespans present and sane
             assert row["replay_flat_s"] > 0
             assert row["replay_tiered_s"] > 0
+        # schema 4: the overlap layer measures the chunked non-blocking
+        # hierarchy on every backend and predicts the pipelined makespan
+        overlap = doc["overlap"]
+        assert overlap["chunks"] >= 2
+        assert set(overlap["per_backend"]) == {"thread", "process", "shmem", "socket"}
+        for metrics in overlap["per_backend"].values():
+            for key in ("compute_s", "comm_s", "blocking_s", "overlapped_s"):
+                assert metrics[key]["median_s"] > 0, key
+            assert "overlap_fraction" in metrics
+        predicted = overlap["predicted"]
+        assert 0 < predicted["pipelined_makespan_s"] <= predicted["blocking_makespan_s"]
         assert any(k.startswith("e2e_") for k in doc["headline"])
         assert "wrote" in capsys.readouterr().out
 
