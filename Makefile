@@ -10,6 +10,9 @@
 #                           baseline)
 #   make bench-kernels-full full bench refreshing BENCH_microkernels.json at
 #                           the repo root (the committed perf trajectory)
+#   make calibrate          quick alpha/beta/gamma fit from measured curves,
+#                           written to results/calibrated_network.json (load
+#                           anywhere with --network calibrated:<path>)
 #   make bench-smoke        a quick pass over the cheapest benchmark figures
 #   make bench              every benchmark table/figure (minutes)
 #
@@ -24,7 +27,7 @@ PYTHON ?= python
 # invocations need it on PYTHONPATH explicitly.
 RUN = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON)
 
-.PHONY: test lint smoke bench-smoke bench bench-kernels bench-kernels-full
+.PHONY: test lint smoke bench-smoke bench bench-kernels bench-kernels-full calibrate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,7 +42,8 @@ smoke:
 bench-kernels:
 	$(RUN) -m repro bench-kernels --quick --out results/BENCH_microkernels.quick.json
 	$(PYTHON) -c "import json; d = json.load(open('results/BENCH_microkernels.quick.json')); \
-	assert d['schema'] == 4 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	assert d['schema'] == 5 and d['microkernels'] and d['allreduce'] and d['transport_roundtrip'], 'malformed bench JSON'; \
+	assert d['allreduce_ordering_check']['ok'], 'predicted vs measured ordering violated'; \
 	hier = d['hierarchy']['per_algorithm']; \
 	assert 'ssar_hier' in hier and 'dsar_hier' in hier, 'missing hier rows'; \
 	assert all('replay_tiered_s' in row and 'replay_flat_s' in row for row in hier.values()), 'missing tiered replay fields'; \
@@ -53,6 +57,9 @@ bench-kernels:
 
 bench-kernels-full:
 	$(RUN) -m repro bench-kernels
+
+calibrate:
+	$(RUN) -m repro calibrate --quick
 
 bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/test_fig1_fillin.py benchmarks/test_fig7_expected_k.py benchmarks/test_table1_datasets.py benchmarks/test_tiered_replay.py

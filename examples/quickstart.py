@@ -78,6 +78,7 @@ from repro import (
     dense_allreduce,
     inter_node_bytes,
     replay,
+    resolve_network,
     run_ranks,
     sparse_allreduce,
 )
@@ -404,6 +405,14 @@ def main() -> None:
              "(thread backend) to also rejoin the killed rank",
     )
     parser.add_argument(
+        "--network", default="tiered:gige", metavar="SPEC",
+        help="replay model for the topology column: a preset name, a "
+             "'tiered:INTRA/INTER' spec, or 'calibrated:<path.json>' "
+             "written by `python -m repro calibrate` — e.g. "
+             "--network calibrated:results/calibrated_network.json replays "
+             "under the model fitted on this machine (default: tiered:gige)",
+    )
+    parser.add_argument(
         "--overlap", action="store_true",
         help="demo the chunked non-blocking hierarchy instead: ssar_hier/"
              "dsar_hier at several chunk counts, verified bit-identical to "
@@ -427,8 +436,10 @@ def main() -> None:
     topo_note = f", topology={topology.describe()}" if topology else ""
     print(f"P={P} ranks, N={DIMENSION}, k={NNZ} nonzeros/rank "
           f"(d={NNZ / DIMENSION:.3%}), backend={backend}{topo_note}\n")
+    tiered_model = resolve_network(args.network)
+    tier_label = "gige-2tier" if args.network == "tiered:gige" else tiered_model.name[:10]
     inter_col = f"{'MB inter':>10}" if topology else ""
-    tier_col = f"{'gige-2tier':>12}" if topology else ""
+    tier_col = f"{tier_label:>12}" if topology else ""
     header = (
         f"{'algorithm':<20}{'correct':<9}{'MB sent':>9}{inter_col}"
         f"{'aries':>12}{'gige':>12}{tier_col}"
@@ -443,7 +454,7 @@ def main() -> None:
             f"{inter_node_bytes(out.trace, topology) / 1e6:>10.2f}" if topology else ""
         )
         tiered = (
-            f"{replay(out.trace, TIERED_GIGE, topology=topology).makespan * 1e3:>10.2f}ms"
+            f"{replay(out.trace, tiered_model, topology=topology).makespan * 1e3:>10.2f}ms"
             if topology
             else ""
         )

@@ -13,6 +13,8 @@ Top-level surface (see DESIGN.md for the full inventory):
   :func:`~repro.collectives.sparse_allgather` — the sparse collectives;
 * :func:`~repro.core.quantized_topk_sgd` — Algorithm 1;
 * :func:`~repro.runtime.run_ranks` — the parallel execution harness;
+* :class:`~repro.costmodel.CostModel` — the unified §5.3 cost layer
+  (prediction, selection reports, calibration, adaptive selection);
 * :mod:`repro.netsim` — alpha-beta timing replay of executed traces.
 
 Quickstart::
@@ -37,6 +39,13 @@ from .collectives import (
     sparse_allreduce,
 )
 from .config import INDEX_BYTES, INDEX_DTYPE, delta_threshold
+from .costmodel import (
+    AdaptiveSelector,
+    CostModel,
+    Instance,
+    PredictedCost,
+    SelectionReport,
+)
 from .core import (
     ErrorFeedback,
     TopKSGDConfig,
@@ -115,6 +124,11 @@ __all__ = [
     "TIERED_GIGE",
     "replay",
     "resolve_network",
+    "CostModel",
+    "Instance",
+    "PredictedCost",
+    "SelectionReport",
+    "AdaptiveSelector",
     "INDEX_DTYPE",
     "INDEX_BYTES",
     "delta_threshold",

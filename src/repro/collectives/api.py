@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..costmodel.adaptive import consistent_mean
+from ..costmodel.model import CostModel, Instance
 from ..quant import QSGDQuantizer
 from ..runtime.backend import Backend, ParallelResult
 from ..runtime.comm import Communicator
@@ -74,7 +76,7 @@ def resolve_collective(
     algorithm: str = "auto",
     quantizer: QSGDQuantizer | None = None,
     op: "ReduceOp | str" = SUM,
-    chunks: int = 1,
+    chunks: "int | str" = 1,
 ) -> "tuple[object, dict]":
     """Resolve the public allreduce knobs into ``(algorithm_fn, kwargs)``.
 
@@ -86,19 +88,47 @@ def resolve_collective(
     hierarchical ones — both warning-free no-ops elsewhere, matching the
     quantizer contract) live here and nowhere else. The returned pair
     satisfies ``fn(comm, stream, **kwargs)``.
+
+    ``algorithm="auto"`` and ``chunks="auto"`` resolve from a
+    *rank-consistent* density estimate — one scalar agreement round
+    (:func:`~repro.costmodel.consistent_mean` over ``stream.nnz``) —
+    never from the local stream alone: with skewed per-rank sparsity a
+    local resolve can pick different algorithms on different ranks, whose
+    mismatched schedules deadlock. Both knobs are therefore collective
+    when set to ``"auto"`` (all ranks pass the same knob values already,
+    per the collective contract, so the agreement round is uniform too).
     """
-    _check_chunks(chunks)
-    if algorithm == "auto":
+    auto_algorithm = algorithm == "auto"
+    auto_chunks = chunks == "auto"
+    if not auto_chunks:
+        _check_chunks(chunks)
+    estimate: float | None = None
+    if auto_algorithm or auto_chunks:
+        estimate = consistent_mean(comm, float(stream.nnz))
+        estimate = min(max(estimate, 0.0), float(stream.dimension))
+    if auto_algorithm:
         algorithm = choose_algorithm(
             stream.dimension,
             comm.size,
-            stream.nnz,
+            estimate,
             stream.value_dtype.itemsize,
             topology=comm.topology,
         )
     if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)} or 'auto'"
+        )
+    if auto_chunks:
+        chunks = (
+            CostModel.default().auto_chunks(
+                Instance(
+                    stream.dimension, comm.size, estimate, stream.value_dtype.itemsize
+                ),
+                algorithm,
+                topology=comm.topology,
+            )
+            if algorithm in CHUNKED_ALGORITHMS
+            else 1  # flat algorithms ignore chunking; keep the no-op silent
         )
     kwargs: dict = {"op": _resolve_op(op)}
     if algorithm in DSAR_ALGORITHMS:
@@ -114,7 +144,7 @@ def sparse_allreduce(
     algorithm: str = "auto",
     quantizer: QSGDQuantizer | None = None,
     op: "ReduceOp | str" = SUM,
-    chunks: int = 1,
+    chunks: "int | str" = 1,
 ) -> SparseStream:
     """Element-wise sum of one sparse stream per rank, result on all ranks.
 
@@ -145,6 +175,10 @@ def sparse_allreduce(
         ranges so leader traffic for chunk *k* overlaps the intra-host
         reduce of chunk *k+1* — bit-identical to the unchunked run
         (unquantized). Warning-free no-op for the flat algorithms.
+        ``"auto"`` picks the depth minimizing the cost model's pipelined
+        makespan curve (:meth:`~repro.costmodel.CostModel.auto_chunks`)
+        from the rank-consistent density estimate; flat algorithms keep
+        ignoring it silently.
 
     Returns
     -------
@@ -163,7 +197,7 @@ def _allreduce_rank(
     algorithm: str,
     quantizer: QSGDQuantizer | None,
     op: "ReduceOp | str",
-    chunks: int = 1,
+    chunks: "int | str" = 1,
 ) -> SparseStream:
     """Module-level rank program for :func:`run_sparse_allreduce`.
 
@@ -187,7 +221,7 @@ def run_sparse_allreduce(
     op: "ReduceOp | str" = SUM,
     timeout: float | None = _UNSET,
     topology: "Topology | str | int | None" = _UNSET,
-    chunks: int = _UNSET,
+    chunks: "int | str" = _UNSET,
 ) -> ParallelResult:
     """One-call driver: allreduce one stream per rank on a chosen backend.
 

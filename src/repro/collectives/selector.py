@@ -2,32 +2,16 @@
 implementations switch between different implementations depending on the
 message size and the number of processes").
 
-The selector mirrors the paper's guidance, extended with topology
-awareness:
+The selection procedure itself lives in
+:meth:`repro.costmodel.CostModel.rank` — the single cost-model layer
+every consumer (this selector, the sweeps, bench-kernels, the netsim
+replay, the adaptive runtime selector) shares. This module keeps the
+historical thin entry points:
 
-* if the expected reduced size ``K`` exceeds the sparse-efficiency
-  threshold ``delta`` the instance is *dynamic* → DSAR. On a
-  *hierarchical* topology the selector runs a real two-tier cost
-  comparison (:func:`dense_stage_two_tier_times`) between the flat
-  ``dsar_split_ag`` and the hierarchical ``dsar_hier`` — reducing
-  intra-host first means only ``nnodes`` dense partitions cross the slow
-  tier's shared per-host uplink instead of ``P`` — and picks whichever
-  the two-tier model predicts faster;
-* a static-sparse instance on a *hierarchical* topology (several hosts,
-  several ranks per host) → ``ssar_hier``: per §6 the inter-node links
-  are the bottleneck, and reducing intra-node first sends only each
-  host's merged union (``E[K_local]`` of the two-tier Appendix-B model,
-  :func:`~repro.analysis.density.expected_two_tier_sizes`) across the
-  slow tier instead of every raw stream;
-* otherwise, small reduced payloads are latency-bound → recursive
-  doubling;
-* very large payloads at scale — where even the per-rank *slice*
-  ``K / P`` exceeds the latency switch point — are bandwidth-bound on
-  every step → the sparse ring: its pipelined single-slice-per-step
-  schedule keeps per-rank buffering bounded and avoids the split phase's
-  ``(P-1)``-way incast, and the extra ``2 (P-1) alpha`` latency it pays
-  is noise at these sizes;
-* remaining large static-sparse payloads → split + sparse allgather.
+* :func:`choose_algorithm` — build an :class:`~repro.costmodel.Instance`
+  and return ``CostModel.rank(...).choice``;
+* :func:`dense_stage_two_tier_times` — the ``(flat dsar, hier dsar)``
+  predicted-time pair the dynamic-instance branch compares.
 
 ``K`` is estimated with the uniform fill-in model of Appendix B when the
 user provides no better estimate ("we require the user to have some rough
@@ -36,12 +20,15 @@ idea about K", §5.3) — uniform supports are the worst case for fill-in.
 
 from __future__ import annotations
 
-import math
-
-from ..analysis.density import expected_two_tier_sizes, expected_union_size
-from ..config import INDEX_BYTES, delta_threshold
-from ..netsim.model import TIERED_IB_FDR, NetworkModel, TieredNetworkModel
-from ..runtime.topology import Topology, check_topology_size
+from ..costmodel.model import (
+    RING_MIN_RANKS,
+    SMALL_MESSAGE_BYTES,
+    SPARSE_ALGORITHMS,
+    CostModel,
+    Instance,
+)
+from ..netsim.model import NetworkModel, TieredNetworkModel
+from ..runtime.topology import Topology
 
 __all__ = [
     "choose_algorithm",
@@ -50,23 +37,6 @@ __all__ = [
     "RING_MIN_RANKS",
     "SPARSE_ALGORITHMS",
 ]
-
-#: below this many reduced payload bytes, latency dominates bandwidth and
-#: recursive doubling wins (the classic small-message switch point).
-SMALL_MESSAGE_BYTES = 64 * 1024
-
-#: the ring's 2 (P-1) alpha latency only amortizes at scale; below this
-#: world size the split phase's (P-1) alpha is never worth trading for it.
-RING_MIN_RANKS = 8
-
-SPARSE_ALGORITHMS = (
-    "ssar_rec_dbl",
-    "ssar_split_ag",
-    "ssar_ring",
-    "ssar_hier",
-    "dsar_split_ag",
-    "dsar_hier",
-)
 
 
 def dense_stage_two_tier_times(
@@ -77,58 +47,28 @@ def dense_stage_two_tier_times(
     topology: Topology,
     network: "NetworkModel | TieredNetworkModel",
 ) -> tuple[float, float]:
-    """Estimated ``(flat dsar, hierarchical dsar)`` times under two tiers.
+    """Predicted ``(flat dsar, hierarchical dsar)`` times under two tiers.
 
     The dominating term of a dynamic instance is the dense allgather: the
     result is ``N * itemsize`` bytes that every rank must end up holding.
     On a cluster whose inter-node uplink is shared per host (``m`` ranks
     behind one NIC), the flat algorithm pushes ``m`` ranks' split slices
     and dense partitions through each uplink while the hierarchical one
-    pushes a single leader's — the two-tier volumes are::
+    pushes a single leader's. A plain :class:`NetworkModel` is treated as
+    two equal tiers: the hierarchy then loses whenever bandwidth
+    dominates (its extra intra rounds move the full dense vector again)
+    and can only pay for itself on latency-bound shapes where collapsing
+    the ``(P-1)`` fan-out to ``(H-1)`` covers those rounds.
 
-        flat:  (P - m)/P * (k_pairs + N_dense) per rank, m ranks per uplink
-        hier:  (H - 1)/H * (E[K_local]_pairs + N_dense) per leader
-
-    plus latency terms (``(P-1) alpha_inter`` for the flat split fan-out
-    vs ``(H-1) alpha_inter`` between leaders) and the hierarchy's extra
-    intra-host tree reduce / broadcast rounds at intra rates. A plain
-    :class:`NetworkModel` is treated as two equal tiers: the hierarchy
-    then loses whenever bandwidth dominates (its extra intra rounds move
-    the full dense vector again) and can only pay for itself on
-    latency-bound shapes where collapsing the ``(P-1)`` fan-out to
-    ``(H-1)`` covers those rounds.
+    Thin wrapper over :meth:`repro.costmodel.CostModel.predict` for the
+    two DSAR candidates — kept for callers that want just the comparison
+    the selector's dynamic-instance branch runs.
     """
-    if isinstance(network, TieredNetworkModel):
-        intra, inter = network.intra, network.inter
-    else:
-        intra = inter = network
-    P = nranks
-    H = topology.nnodes
-    m = topology.max_ranks_per_node
-    pair_bytes = INDEX_BYTES + value_itemsize
-    dense_bytes = dimension * value_itemsize
-    k_bytes = nnz_per_rank * pair_bytes
-    k_local, _ = expected_two_tier_sizes(
-        nnz_per_rank, dimension, P, min(m, P)
-    )
-    k_local_bytes = k_local * pair_bytes
-
-    # flat DSAR: every rank's split slices and (forwarded) dense partitions
-    # cross the inter tier; the busiest uplink carries m ranks' share
-    flat = (
-        (P - 1) * inter.alpha
-        + inter.beta * m * (P - m) / P * (k_bytes + dense_bytes)
-    )
-
-    # hierarchical DSAR: one leader per uplink, merged unions only, plus
-    # the intra-host tree reduce and dense broadcast rounds
-    intra_rounds = math.ceil(math.log2(m)) if m > 1 else 0
-    hier = (
-        (H - 1) * inter.alpha
-        + inter.beta * (H - 1) / H * (k_local_bytes + dense_bytes)
-        + intra_rounds * (2 * intra.alpha + intra.beta * (k_local_bytes + dense_bytes))
-    )
-    return flat, hier
+    model = CostModel.resolve(network)
+    instance = Instance(dimension, nranks, nnz_per_rank, value_itemsize)
+    flat = model.predict(instance, "dsar_split_ag", topology)
+    hier = model.predict(instance, "dsar_hier", topology)
+    return flat.time_s, hier.time_s
 
 
 def choose_algorithm(
@@ -162,15 +102,15 @@ def choose_algorithm(
         ``None`` or a flat/fully-distributed topology selects among the
         flat algorithms.
     network:
-        The cost model the two-tier comparison runs under. Defaults to
-        the canonical tiered cluster (shared-memory intra + InfiniBand
-        inter, :data:`~repro.netsim.model.TIERED_IB_FDR`) — consistent
-        with the hierarchical-topology presumption that intra links are
-        an order of magnitude faster. Pass a plain
-        :class:`~repro.netsim.model.NetworkModel` to model a genuinely
-        flat network (equal tiers), under which ``dsar_hier`` survives
-        only on latency-bound shapes (the ``(P-1)`` -> ``(H-1)`` fan-out
-        collapse), never on bandwidth-bound ones.
+        The cost model the selection runs under: anything
+        :meth:`~repro.costmodel.CostModel.resolve` accepts (a model
+        instance, a :class:`~repro.costmodel.CostModel`, a preset name,
+        a ``tiered:INTRA/INTER`` or ``calibrated:<path>`` spec).
+        Defaults to the canonical tiered cluster (shared-memory intra +
+        InfiniBand inter, :data:`~repro.netsim.model.TIERED_IB_FDR`).
+        Pass a plain :class:`~repro.netsim.model.NetworkModel` to model
+        a genuinely flat network (equal tiers), under which ``dsar_hier``
+        survives only on latency-bound shapes.
 
     Returns
     -------
@@ -179,42 +119,13 @@ def choose_algorithm(
         through the bandwidth-bound branch (``P >= RING_MIN_RANKS`` and a
         per-rank slice above the latency switch point); ``ssar_hier`` and
         ``dsar_hier`` only with a hierarchical ``topology``.
+
+    See Also
+    --------
+    repro.costmodel.CostModel.rank : the same selection as a full
+        :class:`~repro.costmodel.SelectionReport` (every candidate's
+        predicted time, the choice and the reason).
     """
-    if nranks < 1:
-        raise ValueError(f"nranks must be >= 1, got {nranks}")
-    if not 0 <= nnz_per_rank <= dimension:
-        raise ValueError(f"nnz_per_rank must be in [0, {dimension}], got {nnz_per_rank}")
-    if topology is not None:
-        # the launcher-uniform size check: a topology for a different world
-        # would feed garbage H/m into the two-tier comparison below
-        check_topology_size(topology, nranks)
-    if expected_k is None:
-        expected_k = expected_union_size(nnz_per_rank, dimension, nranks)
-    delta = delta_threshold(dimension, value_itemsize, INDEX_BYTES)
-    hierarchical = topology is not None and topology.is_hierarchical
-    if expected_k > delta:
-        # dynamic instance: the reduced result goes dense either way; on a
-        # hierarchical topology, compare the flat dense allgather against
-        # the leader-only dense stage under the two-tier cost model
-        if hierarchical:
-            flat_t, hier_t = dense_stage_two_tier_times(
-                dimension,
-                nranks,
-                nnz_per_rank,
-                value_itemsize,
-                topology,
-                network if network is not None else TIERED_IB_FDR,
-            )
-            if hier_t < flat_t:
-                return "dsar_hier"
-        return "dsar_split_ag"
-    if hierarchical:
-        # static-sparse on a multi-rank multi-host world: pay the fast
-        # tier first so only the merged per-host unions cross the slow one
-        return "ssar_hier"
-    reduced_bytes = expected_k * (INDEX_BYTES + value_itemsize)
-    if reduced_bytes <= small_message_bytes:
-        return "ssar_rec_dbl"
-    if nranks >= RING_MIN_RANKS and reduced_bytes > small_message_bytes * nranks:
-        return "ssar_ring"
-    return "ssar_split_ag"
+    model = CostModel.resolve(network) if network is not None else CostModel.default()
+    instance = Instance(dimension, nranks, nnz_per_rank, value_itemsize, expected_k)
+    return model.rank(instance, topology, small_message_bytes).choice

@@ -175,7 +175,8 @@ class GradientFuser:
         algorithm: str = "auto",
         quantizer: QSGDQuantizer | None = None,
         nonblocking: bool = False,
-        chunks: int = 1,
+        chunks: "int | str" = 1,
+        selector=None,
     ) -> np.ndarray:
         """TopK-sparsified allreduce per fused bucket; returns the summed
         update, dense, with per-bucket error feedback state.
@@ -187,23 +188,44 @@ class GradientFuser:
         joins immediately (useful to exercise the async machinery with
         blocking semantics); ``chunks`` pipelines each bucket's
         hierarchical collective (see
-        :func:`~repro.collectives.api.sparse_allreduce`).
+        :func:`~repro.collectives.api.sparse_allreduce`); ``selector``
+        (an :class:`~repro.costmodel.AdaptiveSelector`, requires
+        ``algorithm="auto"``) resolves one algorithm per *call* from the
+        mean selected bucket nnz — one agreement round instead of one
+        per bucket, and the choice adapts across steps as the realized
+        density drifts.
         """
         if nonblocking:
             return self.i_fused_allreduce(
                 comm, grad, error_feedback,
                 algorithm=algorithm, quantizer=quantizer, chunks=chunks,
+                selector=selector,
             ).wait()
         self._check_fused_args(grad, error_feedback)
         out = np.empty_like(grad)
+        selected = []
         for bucket, ef in zip(self.buckets, error_feedback):
             segment = grad[bucket.start: bucket.stop]
             sent = ef.select(segment.astype(np.float32, copy=False))
             if quantizer is not None:
                 sent = quantize_stream_values(sent, quantizer)
+            selected.append(sent)
+        algorithm = self._resolve_fused_algorithm(comm, algorithm, selector, selected)
+        for bucket, sent in zip(self.buckets, selected):
             total = sparse_allreduce(comm, sent, algorithm=algorithm, chunks=chunks)
             out[bucket.start: bucket.stop] = total.to_dense()
         return out
+
+    def _resolve_fused_algorithm(
+        self, comm: Communicator, algorithm: str, selector, selected: list
+    ) -> str:
+        """One adaptive resolution covering every bucket of this call."""
+        if selector is None:
+            return algorithm
+        if algorithm != "auto":
+            raise ValueError("selector requires algorithm='auto'")
+        mean_nnz = sum(s.nnz for s in selected) / max(1, len(selected))
+        return selector.step(comm, mean_nnz)
 
     def i_fused_allreduce(
         self,
@@ -212,7 +234,8 @@ class GradientFuser:
         error_feedback: list[ErrorFeedback],
         algorithm: str = "auto",
         quantizer: QSGDQuantizer | None = None,
-        chunks: int = 1,
+        chunks: "int | str" = 1,
+        selector=None,
     ) -> FusedPendingUpdate:
         """Async mode: launch one non-blocking collective per fused bucket.
 
@@ -225,19 +248,23 @@ class GradientFuser:
         returned :class:`FusedPendingUpdate` joins in bucket order and
         assembles the dense update; results are bit-identical to
         :meth:`fused_topk_allreduce` (same selection, same collectives,
-        unquantized).
+        unquantized). ``selector`` resolves one adaptive algorithm per
+        call (see :meth:`fused_topk_allreduce`).
         """
         self._check_fused_args(grad, error_feedback)
         out = np.empty_like(grad)
-        handles: list[Handle] = []
+        selected = []
         for bucket, ef in zip(self.buckets, error_feedback):
             segment = grad[bucket.start: bucket.stop]
             sent = ef.select(segment.astype(np.float32, copy=False))
             if quantizer is not None:
                 sent = quantize_stream_values(sent, quantizer)
-            handles.append(
-                i_collective(comm, sent, algorithm=algorithm, chunks=chunks)
-            )
+            selected.append(sent)
+        algorithm = self._resolve_fused_algorithm(comm, algorithm, selector, selected)
+        handles: list[Handle] = [
+            i_collective(comm, sent, algorithm=algorithm, chunks=chunks)
+            for sent in selected
+        ]
         return FusedPendingUpdate(self.buckets, handles, out)
 
     def make_error_feedback(

@@ -1,5 +1,8 @@
-"""Analytic alpha-beta cost bounds (paper §5.3)."""
+"""The cost-model layer: analytic bounds, the first-class
+:class:`CostModel` every selection/replay/sweep consumer shares, fitted
+(calibrated) models, and adaptive runtime selection."""
 
+from .adaptive import AdaptiveSelector, AlgorithmSwitch, consistent_mean
 from .bounds import (
     Bounds,
     beta_dense,
@@ -15,6 +18,23 @@ from .bounds import (
     max_dsar_speedup,
     ssar_rec_dbl_bounds,
     ssar_split_ag_bounds,
+)
+from .calibrate import (
+    DEFAULT_CALIBRATION_OUT,
+    calibrate_from_doc,
+    fit_alpha_beta,
+    fit_gamma,
+    run_calibration,
+)
+from .model import (
+    MAX_AUTO_CHUNKS,
+    RING_MIN_RANKS,
+    SMALL_MESSAGE_BYTES,
+    SPARSE_ALGORITHMS,
+    CostModel,
+    Instance,
+    PredictedCost,
+    SelectionReport,
 )
 
 __all__ = [
@@ -32,4 +52,20 @@ __all__ = [
     "max_dsar_speedup",
     "ssar_rec_dbl_bounds",
     "ssar_split_ag_bounds",
+    "CostModel",
+    "Instance",
+    "PredictedCost",
+    "SelectionReport",
+    "AdaptiveSelector",
+    "AlgorithmSwitch",
+    "consistent_mean",
+    "SMALL_MESSAGE_BYTES",
+    "RING_MIN_RANKS",
+    "SPARSE_ALGORITHMS",
+    "MAX_AUTO_CHUNKS",
+    "fit_alpha_beta",
+    "fit_gamma",
+    "calibrate_from_doc",
+    "run_calibration",
+    "DEFAULT_CALIBRATION_OUT",
 ]

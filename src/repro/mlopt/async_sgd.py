@@ -42,6 +42,7 @@ import scipy.sparse as sp
 from ..collectives.api import sparse_allreduce
 from ..collectives.selector import choose_algorithm
 from ..core.fusion import GradientFuser
+from ..costmodel.adaptive import AdaptiveSelector
 from ..runtime.comm import Communicator, RankFailedError, WorldAbortedError
 from ..runtime.elastic import ElasticContext
 from ..runtime.nonblocking import i_collective
@@ -74,7 +75,8 @@ def distributed_sgd_async(
     resume: bool = False,
     fuser: "GradientFuser | None" = None,
     fuser_k: int = 32,
-    chunks: int = 1,
+    chunks: "int | str" = 1,
+    adaptive: "bool | AdaptiveSelector" = False,
 ) -> RunHistory:
     """Data-parallel SGD with one-step-pipelined sparse aggregation.
 
@@ -97,6 +99,16 @@ def distributed_sgd_async(
     non-blocking collective per bucket, joined in order one step later.
     ``chunks`` pipelines the hierarchical collectives either way (see
     :func:`~repro.collectives.api.sparse_allreduce`).
+
+    ``adaptive=True`` (requires ``config.algorithm == "auto"``) replaces
+    the once-per-membership static resolve with an
+    :class:`~repro.costmodel.AdaptiveSelector`: every aggregating step
+    folds the realized gradient nnz into a collectively-agreed EWMA and
+    re-runs the cost model's selection when the estimate drifts (or the
+    world resizes), so the algorithm tracks the density the run actually
+    produces. The switch sequence is bit-identical on every rank (and
+    recorded on ``history.algorithm_switches``). Pass a pre-built
+    selector to control the cost model, drift threshold or EWMA factor.
     """
     if config.mode != "sparse":
         raise ValueError("asynchronous aggregation supports sparse mode only")
@@ -108,6 +120,15 @@ def distributed_sgd_async(
         raise ValueError(
             f"fuser covers {fuser.total_size} params but the model has "
             f"{model.n_features} features"
+        )
+    selector: AdaptiveSelector | None = None
+    if adaptive:
+        if config.algorithm != "auto":
+            raise ValueError("adaptive selection requires config.algorithm='auto'")
+        selector = (
+            adaptive
+            if isinstance(adaptive, AdaptiveSelector)
+            else AdaptiveSelector(dimension=model.n_features, value_itemsize=8)
         )
     feedback = fuser.make_error_feedback(fuser_k) if fuser is not None else None
     shard = partition_rows(dataset.n_samples, comm.size, comm.rank)
@@ -242,6 +263,11 @@ def distributed_sgd_async(
             if not aggregating(epoch):
                 apply_update(grad, 1)
                 continue
+            if selector is not None:
+                # collective: every aggregating rank steps the selector at
+                # the same iteration, so the agreed estimate (and any
+                # algorithm switch) is identical everywhere
+                algorithm = selector.step(comm, grad.nnz)
             # launch this step's reduction; it progresses while the next
             # batch's gradient is being computed
             if fuser is not None:
@@ -280,5 +306,7 @@ def distributed_sgd_async(
             apply_update(pending.wait(), comm.size)
         except RankFailedError as exc:
             recover(exc, None, config.epochs)
+    if selector is not None:
+        history.algorithm_switches = [s.to_dict() for s in selector.switches]
     history.params = w
     return history

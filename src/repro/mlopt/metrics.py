@@ -34,12 +34,19 @@ class RunHistory:
     ranks aggregated that epoch (1 for an epoch finished on local
     gradients while the world reformed), so a kill-then-rejoin run reads
     e.g. ``[4, 1, 3, 4]``. Empty for non-elastic runs.
+
+    ``algorithm_switches`` is filled by adaptive runs
+    (``distributed_sgd_async(..., adaptive=True)``): one dict per
+    (re-)selection event of the
+    :class:`~repro.costmodel.AdaptiveSelector`, identical on every rank.
+    Empty for non-adaptive runs.
     """
 
     records: list[EpochRecord] = field(default_factory=list)
     params: np.ndarray | None = None
     degraded_rank: int | None = None
     world_sizes: list[int] = field(default_factory=list)
+    algorithm_switches: list[dict] = field(default_factory=list)
 
     def add(self, record: EpochRecord) -> None:
         self.records.append(record)

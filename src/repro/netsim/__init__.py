@@ -11,7 +11,9 @@ from .model import (
     TIERED_IB_FDR,
     NetworkModel,
     TieredNetworkModel,
+    load_network,
     resolve_network,
+    save_network,
 )
 from .replay import ReplayDeadlockError, ReplayResult, overlap_step_time, replay
 
@@ -27,6 +29,8 @@ __all__ = [
     "TIERED_GIGE",
     "PRESETS",
     "resolve_network",
+    "save_network",
+    "load_network",
     "ReplayResult",
     "ReplayDeadlockError",
     "replay",

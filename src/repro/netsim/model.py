@@ -40,7 +40,9 @@ combinations parse from ``"tiered:INTRA/INTER"`` specs via
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 __all__ = [
     "NetworkModel",
@@ -54,7 +56,13 @@ __all__ = [
     "TIERED_GIGE",
     "PRESETS",
     "resolve_network",
+    "save_network",
+    "load_network",
 ]
+
+#: schema version of the calibrated-model JSON written by
+#: ``python -m repro calibrate`` (see :func:`save_network`).
+NETWORK_JSON_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -198,21 +206,93 @@ PRESETS: "dict[str, NetworkModel | TieredNetworkModel]" = {
 }
 
 
+def _tier_to_dict(m: NetworkModel) -> dict:
+    return {"name": m.name, "alpha": m.alpha, "beta": m.beta, "gamma": m.gamma}
+
+
+def _tier_from_dict(d: dict, fallback_name: str) -> NetworkModel:
+    return NetworkModel(
+        name=d.get("name", fallback_name),
+        alpha=float(d["alpha"]),
+        beta=float(d["beta"]),
+        gamma=float(d.get("gamma", 2.0e-10)),
+    )
+
+
+def save_network(
+    model: "NetworkModel | TieredNetworkModel",
+    path: "str | Path",
+    provenance: dict | None = None,
+) -> Path:
+    """Persist a (possibly tiered) model as the calibrated-model JSON.
+
+    The document round-trips through :func:`load_network` and resolves
+    via the ``"calibrated:<path>"`` spec of :func:`resolve_network`;
+    ``provenance`` (fit residuals, measurement parameters, host info) is
+    carried verbatim for reports and ignored on load.
+    """
+    path = Path(path)
+    doc: dict = {"schema": NETWORK_JSON_SCHEMA, "name": model.name}
+    if isinstance(model, TieredNetworkModel):
+        doc["kind"] = "tiered"
+        doc["shared_uplink"] = model.shared_uplink
+        doc["intra"] = _tier_to_dict(model.intra)
+        doc["inter"] = _tier_to_dict(model.inter)
+    else:
+        doc["kind"] = "flat"
+        doc.update(_tier_to_dict(model))
+    if provenance is not None:
+        doc["provenance"] = provenance
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_network(path: "str | Path") -> "NetworkModel | TieredNetworkModel":
+    """Load a model written by :func:`save_network` (or hand-authored)."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(f"calibrated network file {str(path)!r} does not exist")
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"calibrated network file {str(path)!r} is not valid JSON: {exc}")
+    kind = doc.get("kind", "flat")
+    name = doc.get("name", path.stem)
+    if kind == "tiered":
+        return TieredNetworkModel(
+            name=name,
+            intra=_tier_from_dict(doc["intra"], f"{name}_intra"),
+            inter=_tier_from_dict(doc["inter"], f"{name}_inter"),
+            shared_uplink=bool(doc.get("shared_uplink", True)),
+        )
+    if kind == "flat":
+        return _tier_from_dict(doc, name)
+    raise ValueError(
+        f"calibrated network file {str(path)!r} has unknown kind {kind!r} "
+        "(expected 'flat' or 'tiered')"
+    )
+
+
 def resolve_network(
     spec: "str | NetworkModel | TieredNetworkModel",
 ) -> "NetworkModel | TieredNetworkModel":
     """Resolve a network spec to a model instance.
 
     Accepts a model instance (returned as-is), a preset name from
-    :data:`PRESETS`, or a ``"tiered:INTRA/INTER"`` spec composing two
+    :data:`PRESETS`, a ``"tiered:INTRA/INTER"`` spec composing two
     *flat* presets into a :class:`TieredNetworkModel` on the fly
-    (``"tiered:INTER"`` defaults the intra tier to shared memory), e.g.
-    ``"tiered:shm/ib_fdr"`` or ``"tiered:gige"``.
+    (``"tiered:INTER"`` defaults the intra tier to shared memory, e.g.
+    ``"tiered:shm/ib_fdr"`` or ``"tiered:gige"``), or a
+    ``"calibrated:<path>"`` spec loading a fitted model JSON written by
+    ``python -m repro calibrate`` (:func:`save_network`).
     """
     if isinstance(spec, (NetworkModel, TieredNetworkModel)):
         return spec
     if spec in PRESETS:
         return PRESETS[spec]
+    if isinstance(spec, str) and spec.startswith("calibrated:"):
+        return load_network(spec[len("calibrated:") :])
     if isinstance(spec, str) and spec.startswith("tiered:"):
         body = spec[len("tiered:") :]
         intra_name, sep, inter_name = body.partition("/")
@@ -228,6 +308,9 @@ def resolve_network(
             )
         return TieredNetworkModel(name=spec, intra=intra, inter=inter)
     raise ValueError(
-        f"unknown network preset {spec!r}; choose from {sorted(PRESETS)} "
-        f"or a 'tiered:INTRA/INTER' spec"
+        f"unknown network preset {spec!r}; choose from {sorted(PRESETS)}, "
+        f"a 'tiered:INTRA/INTER' spec composing two flat presets "
+        f"(e.g. 'tiered:shm/gige', or 'tiered:gige' for the shared-memory "
+        f"default intra tier), or 'calibrated:<path.json>' loading a model "
+        f"fitted by `python -m repro calibrate`"
     )

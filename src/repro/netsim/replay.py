@@ -150,6 +150,9 @@ def replay(
         If the log is causally incomplete (a recv whose matching send never
         appears), which indicates a bug in the traced algorithm.
     """
+    # a CostModel (repro.costmodel) replays under the network it wraps —
+    # duck-typed so netsim stays import-independent of the costmodel layer
+    model = getattr(model, "network", model)
     nranks = trace.nranks
     events = [trace.events(r) for r in range(nranks)]
     pointers = [0] * nranks

@@ -41,15 +41,17 @@ class RunConfig:
     fault_plan: Any = None
     op_timeout: float | None = None
     timeout: float | None = 300.0
-    chunks: int = 1
+    chunks: "int | str" = 1
 
     def __post_init__(self) -> None:
         # mirror collectives.hier._check_chunks without importing it (the
-        # collectives package imports the runtime package, not vice versa)
-        if isinstance(self.chunks, bool) or not isinstance(self.chunks, int):
-            raise TypeError(f"chunks must be an int, got {self.chunks!r}")
-        if self.chunks < 1:
-            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        # collectives package imports the runtime package, not vice versa);
+        # "auto" defers the depth to the cost model at resolve time
+        if self.chunks != "auto":
+            if isinstance(self.chunks, bool) or not isinstance(self.chunks, int):
+                raise TypeError(f"chunks must be an int or 'auto', got {self.chunks!r}")
+            if self.chunks < 1:
+                raise ValueError(f"chunks must be >= 1, got {self.chunks}")
         for name in ("op_timeout", "timeout"):
             value = getattr(self, name)
             if value is not None and not value > 0:

@@ -20,7 +20,14 @@ diff against. Five layers are measured (``--layers`` selects a subset):
     across densities, measured as sustained back-to-back operations
     inside the ranks (robust to barrier skew and process start-up). The
     world carries a simulated two-host topology so ``ssar_hier`` rows
-    measure the real hierarchical schedule;
+    measure the real hierarchical schedule. Since schema 5 every measured
+    row carries ``predicted_s`` — the
+    :class:`~repro.costmodel.CostModel` allreduce time under the tiered
+    replay preset on the same topology — and the document records an
+    ``allreduce_ordering_check`` comparing the predicted and measured
+    algorithm *orderings* (absolute times differ wildly between a real
+    laptop and the modeled cluster; the ordering of clearly-separated
+    predictions should not);
 ``hierarchy``
     byte accounting per algorithm on the simulated two-host world at the
     headline density: total vs *inter-node* traffic (the volume
@@ -68,6 +75,7 @@ from ..collectives import (
     ssar_ring,
     ssar_split_allgather,
 )
+from ..costmodel.model import CostModel, Instance
 from ..netsim import IB_FDR, TIERED_IB_FDR, replay
 from ..netsim.replay import overlap_step_time
 from ..runtime import Topology, bytes_by_tier, normalize_topology, run_ranks
@@ -86,7 +94,9 @@ LAYERS = ("microkernels", "transport_roundtrip", "allreduce", "hierarchy", "over
 #: 4: the ``overlap`` layer (measured compute/comm overlap per backend for
 #: the chunked non-blocking hierarchy + the predicted pipelined makespan)
 #: and optional layer selection (absent layers are simply omitted).
-SCHEMA = 4
+#: 5: ``predicted_s`` (CostModel time under the tiered replay preset) on
+#: every allreduce row + the ``allreduce_ordering_check`` block.
+SCHEMA = 5
 
 #: repo root (src/repro/tools/ -> three levels up).
 DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_microkernels.json"
@@ -240,6 +250,7 @@ def _bench_allreduce(
     repeats: int,
     topology: Topology,
 ) -> dict[str, Any]:
+    model = CostModel(REPLAY_TIERED)
     out: dict[str, Any] = {}
     for backend in backends:
         per_algo: dict[str, Any] = {}
@@ -254,10 +265,71 @@ def _bench_allreduce(
                         backend=backend, timeout=600.0, topology=topology,
                     )
                     samples.append(max(res.results))  # slowest rank = op latency
-                per_density[f"density_{density:g}"] = _stats(samples)
+                row = _stats(samples)
+                # backend-independent analytic prediction next to the
+                # measurement, so the trajectory shows model vs reality
+                row["predicted_s"] = model.predict(
+                    Instance(dimension, nranks, nnz), algo, topology=topology
+                ).time_s
+                per_density[f"density_{density:g}"] = row
             per_algo[algo] = per_density
         out[backend] = per_algo
     return out
+
+
+def _check_allreduce_ordering(
+    allreduce: dict[str, Any], ratio_band: float = 10.0, slack: float = 1.5
+) -> dict[str, Any]:
+    """Compare the CostModel's algorithm *ordering* against the clock.
+
+    Absolute predicted times model a cluster, not this machine, so they
+    are not asserted. What must hold is the ordering of clearly-separated
+    pairs: when the model says algorithm A beats algorithm B by at least
+    ``ratio_band`` (predicted_b / predicted_a >= band), the measured
+    clock must not show the opposite by more than ``slack`` (measured_a
+    > slack * measured_b). Pairs inside the band are noise and skipped.
+    """
+    violations: list[dict[str, Any]] = []
+    pairs_checked = 0
+    for backend, per_algo in allreduce.items():
+        density_keys = set()
+        for rows in per_algo.values():
+            density_keys.update(rows)
+        for dkey in sorted(density_keys):
+            rows = {
+                algo: per_algo[algo][dkey]
+                for algo in per_algo
+                if dkey in per_algo[algo] and "predicted_s" in per_algo[algo][dkey]
+            }
+            names = sorted(rows)
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    pa, pb = rows[a]["predicted_s"], rows[b]["predicted_s"]
+                    if min(pa, pb) <= 0:
+                        continue
+                    fast, slow = (a, b) if pa <= pb else (b, a)
+                    if max(pa, pb) / min(pa, pb) < ratio_band:
+                        continue
+                    pairs_checked += 1
+                    m_fast = rows[fast]["best_s"]
+                    m_slow = rows[slow]["best_s"]
+                    if m_fast > slack * m_slow:
+                        violations.append({
+                            "backend": backend,
+                            "density": dkey,
+                            "predicted_fast": fast,
+                            "predicted_slow": slow,
+                            "predicted_ratio": round(max(pa, pb) / min(pa, pb), 2),
+                            "measured_fast_s": m_fast,
+                            "measured_slow_s": m_slow,
+                        })
+    return {
+        "ratio_band": ratio_band,
+        "measured_slack": slack,
+        "pairs_checked": pairs_checked,
+        "violations": violations,
+        "ok": not violations,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -525,6 +597,14 @@ def run_bench(
         doc["allreduce"] = _bench_allreduce(
             backends, algos, dimension, densities, nranks, e2e_iters, repeats, topo
         )
+        check = _check_allreduce_ordering(doc["allreduce"])
+        check["predicted_network"] = REPLAY_TIERED.name
+        doc["allreduce_ordering_check"] = check
+        if quick and not check["ok"]:
+            raise AssertionError(
+                "CostModel vs measured algorithm ordering disagrees beyond the "
+                f"tolerance band: {check['violations']}"
+            )
     if "hierarchy" in layers:
         doc["hierarchy"] = _bench_hierarchy(algos, dimension, headline_nnz, nranks, topo)
     if "overlap" in layers:
@@ -589,14 +669,26 @@ def render_summary(doc: dict[str, Any]) -> str:
             )
             lines.append(f"  {size_key:12s} {row}")
     if doc.get("allreduce"):
-        lines.append("allreduce end-to-end (best, per op):")
+        lines.append("allreduce end-to-end (best, per op; predicted in parens):")
         for bk, per_algo in doc["allreduce"].items():
             for algo, per_d in per_algo.items():
                 row = "  ".join(
                     f"{dk.split('_', 1)[1]}={st['best_s'] * 1e3:8.2f}ms"
+                    + (
+                        f" ({st['predicted_s'] * 1e3:.2f}ms)"
+                        if "predicted_s" in st
+                        else ""
+                    )
                     for dk, st in per_d.items()
                 )
                 lines.append(f"  {bk:8s} {algo:14s} {row}")
+        check = doc.get("allreduce_ordering_check")
+        if check:
+            lines.append(
+                f"  ordering check vs {check.get('predicted_network', '?')}: "
+                f"{check['pairs_checked']} separated pairs, "
+                f"{len(check['violations'])} violations"
+            )
     hier = doc.get("hierarchy")
     if hier:
         has_replay = "replay_tiered_preset" in hier  # schema >= 3

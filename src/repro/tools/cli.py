@@ -8,6 +8,10 @@ Commands
 ``presets``         show the network model presets
 ``bench-kernels``   wall-clock microkernel + transport + allreduce bench,
                     written to ``BENCH_microkernels.json`` (perf trajectory)
+``calibrate``       fit a tiered network model (per-tier alpha/beta + the
+                    summation gamma) from measured transport/microkernel
+                    curves; the written JSON is loadable anywhere a
+                    ``--network`` flag accepts ``calibrated:<path>``
 ``serve-rank``      run one rank of a multi-host ``socket``-backend world
                     against a shared rendezvous address
 
@@ -74,8 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     nodes.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
     nodes.add_argument(
         "--network", default="aries", metavar="PRESET",
-        help=f"network preset ({', '.join(sorted(PRESETS))}) or a "
-             "'tiered:INTRA/INTER' spec, e.g. tiered:shm/ib_fdr or tiered:gige",
+        help=f"network preset ({', '.join(sorted(PRESETS))}), a "
+             "'tiered:INTRA/INTER' spec (e.g. tiered:shm/ib_fdr or "
+             "tiered:gige), or 'calibrated:<path.json>' fitted by "
+             "`python -m repro calibrate`",
     )
     nodes.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
     nodes.add_argument("--seed", type=int, default=9000)
@@ -96,8 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     dens.add_argument("--nranks", type=int, default=8)
     dens.add_argument(
         "--network", default="gige", metavar="PRESET",
-        help=f"network preset ({', '.join(sorted(PRESETS))}) or a "
-             "'tiered:INTRA/INTER' spec, e.g. tiered:shm/ib_fdr or tiered:gige",
+        help=f"network preset ({', '.join(sorted(PRESETS))}), a "
+             "'tiered:INTRA/INTER' spec (e.g. tiered:shm/ib_fdr or "
+             "tiered:gige), or 'calibrated:<path.json>' fitted by "
+             "`python -m repro calibrate`",
     )
     dens.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHM_SET), default=None)
     dens.add_argument("--seed", type=int, default=9000)
@@ -149,6 +157,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--layers", nargs="+", choices=list(LAYERS), default=None,
         help="measure only these layers (default: all)",
+    )
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit alpha/beta/gamma from measured curves -> calibrated JSON",
+        description=(
+            "Measure (or reuse from a bench-kernels JSON) the per-backend "
+            "transport round-trip curve and the summation microkernels, fit "
+            "per-tier alpha/beta by least squares and gamma from the merge "
+            "kernel, and write the tiered model as JSON. Load it anywhere a "
+            "--network flag is accepted with 'calibrated:<path>'."
+        ),
+    )
+    cal.add_argument(
+        "--quick", action="store_true",
+        help="fewer iterations and sizes: a seconds-long smoke fit",
+    )
+    cal.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: results/calibrated_network.json)",
+    )
+    cal.add_argument(
+        "--bench", default=None, metavar="JSON",
+        help="reuse the transport/microkernel curves of an existing "
+             "bench-kernels document instead of re-measuring (falls back to "
+             "measuring if it lacks enough transport sizes)",
+    )
+    cal.add_argument(
+        "--name", default="calibrated",
+        help="model name embedded in the JSON (default: calibrated)",
+    )
+    cal.add_argument(
+        "--dimension", type=int, default=None,
+        help="vector dimension the measurement streams are drawn from",
     )
 
     serve = sub.add_parser(
@@ -299,6 +341,28 @@ def main(argv: list[str] | None = None) -> int:
         path = write_bench(doc, args.out)
         print(render_summary(doc))
         print(f"\nwrote {path}")
+        return 0
+
+    if args.command == "calibrate":
+        from ..costmodel.calibrate import run_calibration
+
+        model, path, provenance = run_calibration(
+            out=args.out,
+            quick=args.quick,
+            dimension=args.dimension,
+            bench=args.bench,
+            name=args.name,
+        )
+        print(model.describe())
+        fits = provenance.get("fits", {})
+        for tier in ("intra", "inter"):
+            fit = fits.get(tier)
+            if fit:
+                print(
+                    f"  {tier}: backend={fit['backend']}  "
+                    f"points={len(fit['points'])}"
+                )
+        print(f"wrote {path}  (load with --network calibrated:{path})")
         return 0
 
     if args.command == "sweep-nodes":

@@ -25,7 +25,8 @@ from ..collectives import (
     ssar_ring,
     ssar_split_allgather,
 )
-from ..netsim import NetworkModel, TieredNetworkModel, replay, resolve_network
+from ..costmodel.model import CostModel
+from ..netsim import NetworkModel, TieredNetworkModel, replay
 from ..runtime import Topology, run_ranks
 from ..streams import SparseStream
 
@@ -66,7 +67,7 @@ def _measure(
     nranks: int,
     dimension: int,
     nnz: int,
-    model: "NetworkModel | TieredNetworkModel",
+    model: "CostModel | NetworkModel | TieredNetworkModel",
     seed: int,
     backend: str = "thread",
     ranks_per_node: int | None = None,
@@ -116,12 +117,14 @@ def sweep_node_counts(
     the runtime transport the measured run executes on. ``ranks_per_node``
     simulates hosts of that many ranks each, making the ``ssar_hier`` /
     ``dsar_hier`` rows exercise a real two-tier schedule. ``network``
-    accepts a model instance, a preset name, or a ``"tiered:INTRA/INTER"``
-    spec (see :func:`repro.netsim.resolve_network`); tiered models replay
-    the trace against the simulated topology, so hierarchy is rewarded in
+    accepts anything :meth:`repro.costmodel.CostModel.resolve` does — a
+    model instance, a preset name, a ``"tiered:INTRA/INTER"`` spec, or
+    ``"calibrated:<path>"`` — so the sweeps replay under exactly the
+    network object the selector reasons with; tiered models replay the
+    trace against the simulated topology, so hierarchy is rewarded in
     *time*, not just byte counts.
     """
-    model = resolve_network(network)
+    model = CostModel.resolve(network)
     algorithms = algorithms or list(ALGORITHM_SET)
     _validate_algorithms(algorithms)
     nnz = max(1, int(dimension * density))
@@ -143,7 +146,7 @@ def sweep_densities(
     ranks_per_node: int | None = None,
 ) -> list[SweepPoint]:
     """Reduction time vs per-node density (the Fig. 3 right sweep)."""
-    model = resolve_network(network)
+    model = CostModel.resolve(network)
     algorithms = algorithms or list(ALGORITHM_SET)
     _validate_algorithms(algorithms)
     points = []

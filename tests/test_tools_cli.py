@@ -183,7 +183,7 @@ class TestBenchKernelsCommand:
         ])
         assert rc == 0
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 4 and doc["quick"] is True
+        assert doc["schema"] == 5 and doc["quick"] is True
         assert doc["params"]["dimension"] == 4096
         # every layer present, with sane positive timings
         for name, stats in doc["microkernels"].items():
@@ -197,6 +197,11 @@ class TestBenchKernelsCommand:
             for per_density in per_algo.values():
                 for stats in per_density.values():
                     assert stats["best_s"] > 0
+                    # schema 5: the CostModel prediction rides next to
+                    # every measured row
+                    assert stats["predicted_s"] > 0
+        check = doc["allreduce_ordering_check"]
+        assert check["ok"] and check["predicted_network"] == "tiered_ib_fdr"
         # the tiered byte-accounting layer covers every algorithm and the
         # inter-node column never exceeds the total
         hier = doc["hierarchy"]
@@ -210,7 +215,7 @@ class TestBenchKernelsCommand:
             # both replayed makespans present and sane
             assert row["replay_flat_s"] > 0
             assert row["replay_tiered_s"] > 0
-        # schema 4: the overlap layer measures the chunked non-blocking
+        # schema >= 4: the overlap layer measures the chunked non-blocking
         # hierarchy on every backend and predicts the pipelined makespan
         overlap = doc["overlap"]
         assert overlap["chunks"] >= 2
